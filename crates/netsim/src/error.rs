@@ -1,0 +1,75 @@
+//! Error types for the network simulator.
+
+use std::fmt;
+
+/// Errors produced by the network simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A flow or capacity referenced a node outside the fabric.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the fabric.
+        fabric_size: usize,
+    },
+    /// A physical parameter (bandwidth, bytes) was not a positive finite
+    /// number.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The simulation could not make progress (e.g. every remaining flow has
+    /// zero allocated rate because a port has zero capacity).
+    Stalled {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl NetError {
+    /// Convenience constructor for [`NetError::InvalidParameter`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        NetError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NetError::Stalled`].
+    pub fn stalled(reason: impl Into<String>) -> Self {
+        NetError::Stalled {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode { node, fabric_size } => {
+                write!(f, "node {node} outside fabric of {fabric_size} nodes")
+            }
+            NetError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            NetError::Stalled { reason } => write!(f, "transfer simulation stalled: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::UnknownNode {
+            node: 9,
+            fabric_size: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(NetError::invalid("zero bandwidth")
+            .to_string()
+            .contains("zero bandwidth"));
+        assert!(NetError::stalled("no capacity").to_string().contains("stalled"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the P-store execution engine.
+
+use eedc_netsim::NetError;
+use eedc_simkit::SimError;
+use eedc_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while planning or executing a P-store query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStoreError {
+    /// An error bubbled up from the storage engine.
+    Storage(StorageError),
+    /// An error bubbled up from the network simulator.
+    Network(NetError),
+    /// An error bubbled up from the simulation substrate.
+    Sim(SimError),
+    /// The requested plan cannot be executed on the given cluster (e.g. no
+    /// node has enough memory for the build-side hash table).
+    Planning {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl PStoreError {
+    /// Convenience constructor for [`PStoreError::Planning`].
+    pub fn planning(reason: impl Into<String>) -> Self {
+        PStoreError::Planning {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PStoreError::Storage(e) => write!(f, "storage error: {e}"),
+            PStoreError::Network(e) => write!(f, "network error: {e}"),
+            PStoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            PStoreError::Planning { reason } => write!(f, "planning error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PStoreError::Storage(e) => Some(e),
+            PStoreError::Network(e) => Some(e),
+            PStoreError::Sim(e) => Some(e),
+            PStoreError::Planning { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for PStoreError {
+    fn from(e: StorageError) -> Self {
+        PStoreError::Storage(e)
+    }
+}
+
+impl From<NetError> for PStoreError {
+    fn from(e: NetError) -> Self {
+        PStoreError::Network(e)
+    }
+}
+
+impl From<SimError> for PStoreError {
+    fn from(e: SimError) -> Self {
+        PStoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PStoreError = StorageError::invalid("x").into();
+        assert!(e.to_string().contains("storage error"));
+        let e: PStoreError = NetError::invalid("y").into();
+        assert!(e.to_string().contains("network error"));
+        let e: PStoreError = SimError::invalid("z").into();
+        assert!(e.to_string().contains("simulation error"));
+        let e = PStoreError::planning("hash table too large");
+        assert!(e.to_string().contains("hash table too large"));
+        use std::error::Error;
+        assert!(PStoreError::planning("x").source().is_none());
+        assert!(PStoreError::from(StorageError::invalid("x"))
+            .source()
+            .is_some());
+    }
+}

@@ -1,0 +1,274 @@
+//! Grouped aggregation.
+//!
+//! Scan-heavy queries such as TPC-H Q1 ("simple aggregations on the LINEITEM
+//! table", Section 3.1) spend all of their time in local scan + aggregate
+//! work, which is why they scale linearly and keep their energy consumption
+//! flat across cluster sizes. This operator provides the aggregate side of
+//! that workload: group by one integer column, compute SUM / COUNT / AVG /
+//! MIN / MAX over value columns.
+
+use crate::error::PStoreError;
+use eedc_storage::{ColumnType, Schema, Table, Value};
+use std::collections::BTreeMap;
+
+/// An aggregate function over a single column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// Sum of the column (as f64).
+    Sum,
+    /// Count of rows in the group.
+    Count,
+    /// Arithmetic mean of the column.
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+}
+
+/// One requested aggregate: a function applied to a column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSpec {
+    /// The aggregated column (ignored for `Count`).
+    pub column: String,
+    /// The aggregate function.
+    pub function: AggregateFn,
+}
+
+impl AggregateSpec {
+    /// Construct an aggregate spec.
+    pub fn new(column: impl Into<String>, function: AggregateFn) -> Self {
+        Self {
+            column: column.into(),
+            function,
+        }
+    }
+
+    fn output_name(&self) -> String {
+        let prefix = match self.function {
+            AggregateFn::Sum => "SUM",
+            AggregateFn::Count => "COUNT",
+            AggregateFn::Avg => "AVG",
+            AggregateFn::Min => "MIN",
+            AggregateFn::Max => "MAX",
+        };
+        format!("{prefix}({})", self.column)
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accumulator {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    fn update(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn finish(&self, function: AggregateFn) -> f64 {
+        match function {
+            AggregateFn::Sum => self.sum,
+            AggregateFn::Count => self.count as f64,
+            AggregateFn::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggregateFn::Min => self.min,
+            AggregateFn::Max => self.max,
+        }
+    }
+}
+
+/// Result of a grouped aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateResult {
+    /// One row per group: the group key followed by each aggregate.
+    pub output: Table,
+    /// Number of input rows consumed.
+    pub input_rows: usize,
+    /// Number of groups produced.
+    pub groups: usize,
+}
+
+/// Group `table` by the integer column `group_by` and evaluate `aggregates`
+/// within each group. Groups appear in ascending key order.
+pub fn aggregate(
+    table: &Table,
+    group_by: &str,
+    aggregates: &[AggregateSpec],
+) -> Result<AggregateResult, PStoreError> {
+    let group_col = table.column_by_name(group_by)?;
+    // Resolve aggregate input columns up front.
+    let agg_cols: Vec<_> = aggregates
+        .iter()
+        .map(|spec| table.column_by_name(&spec.column))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut groups: BTreeMap<i64, Vec<Accumulator>> = BTreeMap::new();
+    for row in 0..table.row_count() {
+        let key = group_col
+            .get(row)
+            .and_then(|v| v.as_i64())
+            .ok_or_else(|| PStoreError::planning("group-by column must be an integer column"))?;
+        let accumulators = groups
+            .entry(key)
+            .or_insert_with(|| vec![Accumulator::default(); aggregates.len()]);
+        for (accumulator, column) in accumulators.iter_mut().zip(&agg_cols) {
+            let value = column
+                .get(row)
+                .expect("row index is in range")
+                .as_f64();
+            accumulator.update(value);
+        }
+    }
+
+    let mut schema_columns: Vec<(String, ColumnType)> = vec![(group_by.to_string(), ColumnType::Int64)];
+    schema_columns.extend(
+        aggregates
+            .iter()
+            .map(|spec| (spec.output_name(), ColumnType::Float64)),
+    );
+    let mut output = Table::with_capacity(
+        format!("{}_agg", table.name()),
+        Schema::new(schema_columns),
+        groups.len(),
+    );
+    for (key, accumulators) in &groups {
+        let mut row: Vec<Value> = Vec::with_capacity(1 + aggregates.len());
+        row.push(Value::Int64(*key));
+        for (accumulator, spec) in accumulators.iter().zip(aggregates) {
+            row.push(Value::Float64(accumulator.finish(spec.function)));
+        }
+        output.append_row(&row)?;
+    }
+
+    Ok(AggregateResult {
+        input_rows: table.row_count(),
+        groups: groups.len(),
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_tpch::gen::LineitemGenerator;
+    use eedc_tpch::scale::ScaleFactor;
+
+    fn small_table() -> Table {
+        let mut t = Table::empty(
+            "T",
+            Schema::new([
+                ("K", ColumnType::Int64),
+                ("V", ColumnType::Int32),
+            ]),
+        );
+        for (k, v) in [(1, 10), (1, 20), (2, 5), (2, 15), (2, 40), (3, 7)] {
+            t.append_row(&[Value::Int64(k), Value::Int32(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sums_counts_and_averages() {
+        let result = aggregate(
+            &small_table(),
+            "K",
+            &[
+                AggregateSpec::new("V", AggregateFn::Sum),
+                AggregateSpec::new("V", AggregateFn::Count),
+                AggregateSpec::new("V", AggregateFn::Avg),
+                AggregateSpec::new("V", AggregateFn::Min),
+                AggregateSpec::new("V", AggregateFn::Max),
+            ],
+        )
+        .unwrap();
+        assert_eq!(result.groups, 3);
+        assert_eq!(result.input_rows, 6);
+        let row = result.output.row(1).unwrap(); // group key 2
+        assert_eq!(row[0], Value::Int64(2));
+        assert_eq!(row[1], Value::Float64(60.0));
+        assert_eq!(row[2], Value::Float64(3.0));
+        assert_eq!(row[3], Value::Float64(20.0));
+        assert_eq!(row[4], Value::Float64(5.0));
+        assert_eq!(row[5], Value::Float64(40.0));
+        // Output column names include the function.
+        assert_eq!(result.output.schema().columns()[1].0, "SUM(V)");
+    }
+
+    #[test]
+    fn groups_are_emitted_in_key_order() {
+        let result = aggregate(
+            &small_table(),
+            "K",
+            &[AggregateSpec::new("V", AggregateFn::Count)],
+        )
+        .unwrap();
+        let keys: Vec<i64> = (0..result.groups)
+            .map(|i| result.output.row(i).unwrap()[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn q1_style_aggregation_over_lineitem() {
+        // Group the LINEITEM projection by discount and sum prices — the same
+        // scan + aggregate shape as TPC-H Q1, entirely node-local.
+        let table = Table::from_lineitem(LineitemGenerator::new(ScaleFactor(0.001), 9));
+        let result = aggregate(
+            &table,
+            "L_DISCOUNT",
+            &[
+                AggregateSpec::new("L_EXTENDEDPRICE", AggregateFn::Sum),
+                AggregateSpec::new("L_EXTENDEDPRICE", AggregateFn::Count),
+            ],
+        )
+        .unwrap();
+        assert!(result.groups > 100);
+        assert_eq!(result.input_rows, table.row_count());
+        // Total count across groups equals the input row count.
+        let counts = result.output.column_by_name("COUNT(L_EXTENDEDPRICE)").unwrap();
+        let total: f64 = (0..result.groups)
+            .map(|i| counts.get(i).unwrap().as_f64())
+            .sum();
+        assert_eq!(total as usize, table.row_count());
+    }
+
+    #[test]
+    fn empty_input_produces_no_groups() {
+        let empty = Table::empty("E", Schema::new([("K", ColumnType::Int64), ("V", ColumnType::Int32)]));
+        let result = aggregate(&empty, "K", &[AggregateSpec::new("V", AggregateFn::Sum)]).unwrap();
+        assert_eq!(result.groups, 0);
+        assert_eq!(result.output.row_count(), 0);
+    }
+
+    #[test]
+    fn unknown_columns_are_errors() {
+        let t = small_table();
+        assert!(aggregate(&t, "NOPE", &[]).is_err());
+        assert!(aggregate(&t, "K", &[AggregateSpec::new("NOPE", AggregateFn::Sum)]).is_err());
+    }
+
+    #[test]
+    fn float_group_keys_are_rejected() {
+        let mut t = Table::empty("T", Schema::new([("K", ColumnType::Float64)]));
+        t.append_row(&[Value::Float64(1.5)]).unwrap();
+        assert!(aggregate(&t, "K", &[]).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The in-memory hash join operator.
+//!
+//! This is the paper's workhorse compute operator: "our hash join code is
+//! cache-conscious and multi-threaded" (Section 5.1). The build side is
+//! hashed into a partitioned hash table keyed on an integer join key; the
+//! probe side is scanned block-by-block and probed in parallel worker threads
+//! (one per hardware thread by default), with each worker producing an
+//! independent output fragment that is concatenated at the end — operators
+//! never materialise intermediate tuples beyond their own output.
+
+use crate::error::PStoreError;
+use eedc_storage::{Column, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Output of a hash join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashJoinOutput {
+    /// The joined rows: probe columns followed by build columns.
+    pub output: Table,
+    /// Number of rows in the build-side hash table.
+    pub build_rows: usize,
+    /// Number of probe-side rows scanned.
+    pub probe_rows: usize,
+    /// Number of output (matching) rows.
+    pub output_rows: usize,
+}
+
+/// Extract the i64 join key of `row` from `column`.
+fn key_at(column: &Column, row: usize) -> Result<i64, PStoreError> {
+    column
+        .get(row)
+        .and_then(|v| v.as_i64())
+        .ok_or_else(|| PStoreError::planning("join keys must be integer columns"))
+}
+
+/// Join `probe` against `build` on integer key columns `probe_key` /
+/// `build_key`, producing probe columns followed by build columns.
+///
+/// `threads` controls the number of probe workers; values of 0 or 1 run the
+/// probe on the calling thread. The output row order depends on the thread
+/// count (fragments are concatenated in worker order), but the output row
+/// *set* does not.
+pub fn hash_join(
+    probe: &Table,
+    probe_key: &str,
+    build: &Table,
+    build_key: &str,
+    threads: usize,
+) -> Result<HashJoinOutput, PStoreError> {
+    let build_key_col = build.column_by_name(build_key)?;
+    let probe_key_col = probe.column_by_name(probe_key)?;
+
+    // Build phase: key -> list of build row indices.
+    let mut hash_table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build.row_count());
+    for row in 0..build.row_count() {
+        let key = key_at(build_key_col, row)?;
+        hash_table.entry(key).or_default().push(row as u32);
+    }
+
+    // The output schema is probe columns followed by build columns.
+    let output_schema = Schema::new(
+        probe
+            .schema()
+            .columns()
+            .iter()
+            .chain(build.schema().columns())
+            .map(|(name, ty)| (name.clone(), *ty)),
+    );
+
+    let probe_rows = probe.row_count();
+    let workers = threads.max(1).min(probe_rows.max(1));
+    let chunk = probe_rows.div_ceil(workers.max(1)).max(1);
+
+    // Each worker probes an independent row range and produces its own output
+    // fragment; fragments are concatenated afterwards.
+    let probe_fragment = |range: std::ops::Range<usize>| -> Result<Table, PStoreError> {
+        let mut fragment = Table::with_capacity("join_fragment", output_schema.clone(), range.len());
+        for probe_row in range {
+            let key = key_at(probe_key_col, probe_row)?;
+            if let Some(matches) = hash_table.get(&key) {
+                let probe_values: Vec<Value> = probe
+                    .row(probe_row)
+                    .expect("probe row index in range");
+                for &build_row in matches {
+                    let mut values = probe_values.clone();
+                    values.extend(
+                        build
+                            .row(build_row as usize)
+                            .expect("build row index from hash table"),
+                    );
+                    fragment.append_row(&values)?;
+                }
+            }
+        }
+        Ok(fragment)
+    };
+
+    let fragments: Vec<Table> = if workers <= 1 || probe_rows == 0 {
+        vec![probe_fragment(0..probe_rows)?]
+    } else {
+        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+            .map(|w| (w * chunk).min(probe_rows)..((w + 1) * chunk).min(probe_rows))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut results: Vec<Option<Result<Table, PStoreError>>> =
+            (0..ranges.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for range in &ranges {
+                let range = range.clone();
+                let probe_fragment = &probe_fragment;
+                handles.push(scope.spawn(move |_| probe_fragment(range)));
+            }
+            for (slot, handle) in results.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("probe worker must not panic"));
+            }
+        })
+        .expect("crossbeam scope must not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("every worker produced a result"))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    let mut output = Table::with_capacity(
+        format!("{}_join_{}", probe.name(), build.name()),
+        output_schema,
+        fragments.iter().map(Table::row_count).sum(),
+    );
+    for fragment in &fragments {
+        output.append_table(fragment)?;
+    }
+
+    Ok(HashJoinOutput {
+        build_rows: build.row_count(),
+        probe_rows,
+        output_rows: output.row_count(),
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_storage::{ColumnType, Predicate};
+    use eedc_tpch::gen::{LineitemGenerator, OrdersGenerator};
+    use eedc_tpch::scale::ScaleFactor;
+
+    const SCALE: ScaleFactor = ScaleFactor(0.002);
+
+    fn lineitem() -> Table {
+        Table::from_lineitem(LineitemGenerator::new(SCALE, 1))
+    }
+
+    fn orders() -> Table {
+        Table::from_orders(OrdersGenerator::new(SCALE, 1))
+    }
+
+    #[test]
+    fn every_lineitem_row_finds_its_order() {
+        // LINEITEM.L_ORDERKEY is a foreign key into ORDERS, so an unfiltered
+        // join returns exactly one output row per LINEITEM row.
+        let li = lineitem();
+        let ord = orders();
+        let joined = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1).unwrap();
+        assert_eq!(joined.output_rows, li.row_count());
+        assert_eq!(joined.build_rows, ord.row_count());
+        assert_eq!(joined.probe_rows, li.row_count());
+        // Output schema is probe columns then build columns.
+        assert_eq!(joined.output.schema().len(), 8);
+        assert_eq!(joined.output.schema().columns()[0].0, "L_ORDERKEY");
+        assert_eq!(joined.output.schema().columns()[4].0, "O_ORDERKEY");
+    }
+
+    #[test]
+    fn join_keys_match_on_every_output_row() {
+        let joined = hash_join(&lineitem(), "L_ORDERKEY", &orders(), "O_ORDERKEY", 2).unwrap();
+        let l_keys = joined.output.column_by_name("L_ORDERKEY").unwrap();
+        let o_keys = joined.output.column_by_name("O_ORDERKEY").unwrap();
+        for i in 0..joined.output_rows {
+            assert_eq!(l_keys.get(i).unwrap().as_i64(), o_keys.get(i).unwrap().as_i64());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result_set() {
+        let li = lineitem();
+        let ord = orders();
+        let serial = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1).unwrap();
+        let parallel = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 8).unwrap();
+        assert_eq!(serial.output_rows, parallel.output_rows);
+        // Compare multisets of (orderkey, extendedprice) pairs.
+        let signature = |t: &Table| {
+            let mut sig: Vec<(i64, i64)> = (0..t.row_count())
+                .map(|i| {
+                    (
+                        t.column_by_name("L_ORDERKEY").unwrap().get(i).unwrap().as_i64().unwrap(),
+                        t.column_by_name("L_EXTENDEDPRICE").unwrap().get(i).unwrap().as_i64().unwrap(),
+                    )
+                })
+                .collect();
+            sig.sort_unstable();
+            sig
+        };
+        assert_eq!(signature(&serial.output), signature(&parallel.output));
+    }
+
+    #[test]
+    fn filtered_join_respects_selectivity() {
+        // 1% of ORDERS qualify; only LINEITEM rows referencing those orders
+        // survive the join.
+        let li = lineitem();
+        let ord = orders();
+        let cutoff = eedc_tpch::gen::custkey_cutoff_for_selectivity(SCALE, 0.01);
+        let filtered = eedc_storage::scan(
+            &ord,
+            &Predicate::orders_custkey_at_most(cutoff),
+            None,
+        )
+        .unwrap();
+        let joined = hash_join(&li, "L_ORDERKEY", &filtered.output, "O_ORDERKEY", 2).unwrap();
+        let ratio = joined.output_rows as f64 / li.row_count() as f64;
+        let build_ratio = filtered.rows_passed as f64 / ord.row_count() as f64;
+        assert!((ratio - build_ratio).abs() < 0.02, "ratio {ratio} vs {build_ratio}");
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let li = lineitem();
+        let empty_orders = Table::empty("ORDERS", Schema::orders_projection());
+        let joined = hash_join(&li, "L_ORDERKEY", &empty_orders, "O_ORDERKEY", 4).unwrap();
+        assert_eq!(joined.output_rows, 0);
+        let empty_li = Table::empty("LINEITEM", Schema::lineitem_projection());
+        let joined = hash_join(&empty_li, "L_ORDERKEY", &orders(), "O_ORDERKEY", 4).unwrap();
+        assert_eq!(joined.output_rows, 0);
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let mut build = Table::empty(
+            "B",
+            Schema::new([("B_KEY", ColumnType::Int64), ("B_VAL", ColumnType::Int32)]),
+        );
+        build.append_row(&[Value::Int64(1), Value::Int32(10)]).unwrap();
+        build.append_row(&[Value::Int64(1), Value::Int32(11)]).unwrap();
+        build.append_row(&[Value::Int64(2), Value::Int32(20)]).unwrap();
+        let mut probe = Table::empty("P", Schema::new([("P_KEY", ColumnType::Int64)]));
+        probe.append_row(&[Value::Int64(1)]).unwrap();
+        probe.append_row(&[Value::Int64(2)]).unwrap();
+        probe.append_row(&[Value::Int64(3)]).unwrap();
+        let joined = hash_join(&probe, "P_KEY", &build, "B_KEY", 1).unwrap();
+        assert_eq!(joined.output_rows, 3); // key 1 matches twice, key 2 once, key 3 never
+    }
+
+    #[test]
+    fn unknown_or_non_integer_keys_are_errors() {
+        let li = lineitem();
+        let ord = orders();
+        assert!(hash_join(&li, "L_NOPE", &ord, "O_ORDERKEY", 1).is_err());
+        assert!(hash_join(&li, "L_ORDERKEY", &ord, "O_NOPE", 1).is_err());
+        // A float column cannot be a join key.
+        let mut build = Table::empty("B", Schema::new([("B_KEY", ColumnType::Float64)]));
+        build.append_row(&[Value::Float64(1.0)]).unwrap();
+        let mut probe = Table::empty("P", Schema::new([("P_KEY", ColumnType::Int64)]));
+        probe.append_row(&[Value::Int64(1)]).unwrap();
+        assert!(hash_join(&probe, "P_KEY", &build, "B_KEY", 1).is_err());
+    }
+}

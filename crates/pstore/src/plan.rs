@@ -1,0 +1,115 @@
+//! Join strategies and query specifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a partition-incompatible two-table join moves data, mirroring the two
+/// execution methods of Section 4.3 plus the partition-compatible baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinStrategy {
+    /// Repartition (shuffle) both inputs on the join key — Section 4.3.1.
+    DualShuffle,
+    /// Broadcast the qualifying build-side tuples to every participating
+    /// node so the probe side never moves — Section 4.3.2.
+    Broadcast,
+    /// The inputs are already co-partitioned on the join key; no network
+    /// traffic at all (the "prepartitioned" baseline of Figure 5).
+    PrePartitioned,
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinStrategy::DualShuffle => write!(f, "dual-shuffle"),
+            JoinStrategy::Broadcast => write!(f, "broadcast"),
+            JoinStrategy::PrePartitioned => write!(f, "prepartitioned"),
+        }
+    }
+}
+
+impl JoinStrategy {
+    /// All strategies, in the order Figure 5 presents them.
+    pub const ALL: [JoinStrategy; 3] = [
+        JoinStrategy::DualShuffle,
+        JoinStrategy::Broadcast,
+        JoinStrategy::PrePartitioned,
+    ];
+}
+
+/// Parameters of the LINEITEM ⋈ ORDERS hash join the paper studies: the
+/// predicate selectivities on the two inputs.
+///
+/// Following the paper's convention, ORDERS is always the (smaller) build
+/// side and LINEITEM the probe side, joined on `ORDERKEY`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinQuerySpec {
+    /// Selectivity of the predicate on the build (ORDERS) input, in `(0, 1]`.
+    pub build_selectivity: f64,
+    /// Selectivity of the predicate on the probe (LINEITEM) input, in
+    /// `(0, 1]`.
+    pub probe_selectivity: f64,
+}
+
+impl JoinQuerySpec {
+    /// A join with the given ORDERS (build) and LINEITEM (probe)
+    /// selectivities.
+    pub fn new(build_selectivity: f64, probe_selectivity: f64) -> Self {
+        Self {
+            build_selectivity,
+            probe_selectivity,
+        }
+    }
+
+    /// The TPC-H Q3-style join of Section 4.3: 5% selectivity on both inputs.
+    pub fn q3_dual_shuffle() -> Self {
+        Self::new(0.05, 0.05)
+    }
+
+    /// The broadcast variant of Section 4.3.2: ORDERS tightened to 1% so the
+    /// full hash table fits in memory on every node, LINEITEM kept at 5%.
+    pub fn q3_broadcast() -> Self {
+        Self::new(0.01, 0.05)
+    }
+
+    /// Compact label such as `"O5%/L5%"`, used in reports.
+    pub fn label(&self) -> String {
+        format!(
+            "O{}%/L{}%",
+            format_pct(self.build_selectivity),
+            format_pct(self.probe_selectivity)
+        )
+    }
+}
+
+fn format_pct(fraction: f64) -> String {
+    let pct = fraction * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("{}", pct.round() as i64)
+    } else {
+        format!("{pct}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_display_and_all() {
+        assert_eq!(JoinStrategy::DualShuffle.to_string(), "dual-shuffle");
+        assert_eq!(JoinStrategy::Broadcast.to_string(), "broadcast");
+        assert_eq!(JoinStrategy::PrePartitioned.to_string(), "prepartitioned");
+        assert_eq!(JoinStrategy::ALL.len(), 3);
+    }
+
+    #[test]
+    fn paper_specs() {
+        let dual = JoinQuerySpec::q3_dual_shuffle();
+        assert_eq!(dual.build_selectivity, 0.05);
+        assert_eq!(dual.probe_selectivity, 0.05);
+        let broadcast = JoinQuerySpec::q3_broadcast();
+        assert_eq!(broadcast.build_selectivity, 0.01);
+        assert_eq!(broadcast.label(), "O1%/L5%");
+        assert_eq!(JoinQuerySpec::new(0.125, 0.5).label(), "O12.5%/L50%");
+    }
+}

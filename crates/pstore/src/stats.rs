@@ -1,0 +1,221 @@
+//! Execution statistics: per-phase breakdowns and whole-query measurements.
+
+use crate::plan::JoinStrategy;
+use eedc_simkit::metrics::Measurement;
+use eedc_simkit::units::{Joules, Megabytes, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether every node executed the full operator tree or the Wimpy nodes were
+/// demoted to scan-and-filter producers (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Every node scans, builds and probes.
+    Homogeneous,
+    /// Wimpy nodes only scan and filter; Beefy nodes build and probe.
+    Heterogeneous,
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionMode::Homogeneous => write!(f, "homogeneous"),
+            ExecutionMode::Heterogeneous => write!(f, "heterogeneous"),
+        }
+    }
+}
+
+/// The resource that bounded a phase's duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The storage subsystem (or in-memory scan CPU path) of a producer node.
+    Scan,
+    /// The cluster interconnect.
+    Network,
+    /// The hash-table build / probe CPU path of a consumer node.
+    Compute,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::Scan => write!(f, "scan"),
+            Bottleneck::Network => write!(f, "network"),
+            Bottleneck::Compute => write!(f, "compute"),
+        }
+    }
+}
+
+/// Time, energy and data-volume breakdown of one execution phase (build or
+/// probe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase label (`"build"` / `"probe"`).
+    pub label: String,
+    /// Wall-clock duration of the phase.
+    pub duration: Seconds,
+    /// Cluster energy consumed during the phase.
+    pub energy: Joules,
+    /// Bytes scanned from the source fragments (at nominal scale).
+    pub bytes_scanned: Megabytes,
+    /// Qualifying bytes that crossed the network (at nominal scale).
+    pub bytes_over_network: Megabytes,
+    /// Time the slowest producer spent scanning/filtering.
+    pub scan_time: Seconds,
+    /// Completion time of the network transfer.
+    pub network_time: Seconds,
+    /// Time the slowest consumer spent building/probing.
+    pub compute_time: Seconds,
+    /// The component that bounded the phase.
+    pub bottleneck: Bottleneck,
+    /// Per-node CPU utilization during the phase, in cluster node order.
+    pub node_utilization: Vec<f64>,
+}
+
+impl PhaseStats {
+    /// Average cluster power during the phase.
+    pub fn average_power(&self) -> Watts {
+        if self.duration.value() <= f64::EPSILON {
+            Watts::zero()
+        } else {
+            self.energy / self.duration
+        }
+    }
+
+    /// Fraction of the phase the slowest producer/consumer CPUs were stalled
+    /// waiting on the bottleneck resource (0 when the phase is CPU bound).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.duration.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        let busy = self.scan_time.max(self.compute_time);
+        (1.0 - busy.value() / self.duration.value()).max(0.0)
+    }
+}
+
+/// The complete result of executing one query (or one batch of concurrent
+/// queries) on a P-store cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryExecution {
+    /// Human-readable cluster label (e.g. `"8N"`, `"2B,2W"`).
+    pub cluster_label: String,
+    /// The join strategy that was executed.
+    pub strategy: JoinStrategy,
+    /// Homogeneous or heterogeneous execution.
+    pub mode: ExecutionMode,
+    /// Number of identical concurrent queries in the batch.
+    pub concurrency: usize,
+    /// Per-phase statistics, in execution order.
+    pub phases: Vec<PhaseStats>,
+    /// Join output rows (per query, verified against the engine-scale data).
+    pub output_rows: usize,
+}
+
+impl QueryExecution {
+    /// Total response time (phases are sequential).
+    pub fn response_time(&self) -> Seconds {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Total cluster energy.
+    pub fn energy(&self) -> Joules {
+        self.phases.iter().map(|p| p.energy).sum()
+    }
+
+    /// Collapse into a [`Measurement`] for normalization / EDP analysis.
+    pub fn measurement(&self) -> Measurement {
+        Measurement::new(self.response_time(), self.energy())
+    }
+
+    /// Total bytes that crossed the network across all phases.
+    pub fn bytes_over_network(&self) -> Megabytes {
+        self.phases.iter().map(|p| p.bytes_over_network).sum()
+    }
+
+    /// The phase with the given label, if present.
+    pub fn phase(&self, label: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+
+    /// Fraction of the total response time spent in network-bound phases.
+    pub fn network_bound_fraction(&self) -> f64 {
+        let total = self.response_time().value();
+        if total <= f64::EPSILON {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .filter(|p| p.bottleneck == Bottleneck::Network)
+            .map(|p| p.duration.value())
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(label: &str, duration: f64, energy: f64, bottleneck: Bottleneck) -> PhaseStats {
+        PhaseStats {
+            label: label.into(),
+            duration: Seconds(duration),
+            energy: Joules(energy),
+            bytes_scanned: Megabytes(1000.0),
+            bytes_over_network: Megabytes(100.0),
+            scan_time: Seconds(duration * 0.5),
+            network_time: Seconds(duration),
+            compute_time: Seconds(duration * 0.1),
+            bottleneck,
+            node_utilization: vec![0.5, 0.5],
+        }
+    }
+
+    fn execution() -> QueryExecution {
+        QueryExecution {
+            cluster_label: "8N".into(),
+            strategy: JoinStrategy::DualShuffle,
+            mode: ExecutionMode::Homogeneous,
+            concurrency: 1,
+            phases: vec![
+                phase("build", 2.0, 500.0, Bottleneck::Network),
+                phase("probe", 8.0, 2000.0, Bottleneck::Network),
+            ],
+            output_rows: 1234,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_phases() {
+        let e = execution();
+        assert_eq!(e.response_time(), Seconds(10.0));
+        assert_eq!(e.energy(), Joules(2500.0));
+        assert_eq!(e.measurement().response_time, Seconds(10.0));
+        assert_eq!(e.bytes_over_network(), Megabytes(200.0));
+        assert!(e.phase("build").is_some());
+        assert!(e.phase("shuffle").is_none());
+        assert_eq!(e.network_bound_fraction(), 1.0);
+    }
+
+    #[test]
+    fn phase_helpers() {
+        let p = phase("build", 4.0, 1000.0, Bottleneck::Network);
+        assert_eq!(p.average_power(), Watts(250.0));
+        assert!((p.stall_fraction() - 0.5).abs() < 1e-12);
+        let idle = PhaseStats {
+            duration: Seconds(0.0),
+            ..p.clone()
+        };
+        assert_eq!(idle.average_power(), Watts::zero());
+        assert_eq!(idle.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_of_enums() {
+        assert_eq!(ExecutionMode::Homogeneous.to_string(), "homogeneous");
+        assert_eq!(ExecutionMode::Heterogeneous.to_string(), "heterogeneous");
+        assert_eq!(Bottleneck::Scan.to_string(), "scan");
+        assert_eq!(Bottleneck::Network.to_string(), "network");
+        assert_eq!(Bottleneck::Compute.to_string(), "compute");
+    }
+}

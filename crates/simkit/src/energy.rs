@@ -1,0 +1,219 @@
+//! Cluster-level energy metering.
+//!
+//! The paper's experiments report, for every query execution, the total
+//! response time and the total energy consumed by all nodes of the cluster,
+//! broken into execution phases (for a hash join: the build phase and the
+//! probe phase). [`EnergyMeter`] is the simulated analogue of the per-node
+//! WattsUp meters: execution engines record one [`PhaseEnergy`] per phase and
+//! the meter aggregates them into a cluster-level
+//! [`Measurement`](crate::metrics::Measurement).
+
+use crate::error::SimError;
+use crate::metrics::Measurement;
+use crate::node::NodeSpec;
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Time and energy attributed to one named execution phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseEnergy {
+    /// Phase label (e.g. `"build"`, `"probe"`, `"scan"`).
+    pub label: String,
+    /// Wall-clock duration of the phase.
+    pub duration: Seconds,
+    /// Energy consumed by the whole cluster during the phase.
+    pub energy: Joules,
+}
+
+impl PhaseEnergy {
+    /// Average cluster power during the phase.
+    pub fn average_power(&self) -> Watts {
+        if self.duration.value() <= f64::EPSILON {
+            Watts::zero()
+        } else {
+            self.energy / self.duration
+        }
+    }
+}
+
+/// Accumulates per-phase cluster energy for one query execution.
+///
+/// Phases are assumed to be sequential (the paper's build phase completes on
+/// every node before the probe phase starts), so the total response time is
+/// the sum of the phase durations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    phases: Vec<PhaseEnergy>,
+}
+
+impl EnergyMeter {
+    /// A meter with no recorded phases.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a phase given its duration and the total cluster energy it
+    /// consumed.
+    pub fn record(
+        &mut self,
+        label: impl Into<String>,
+        duration: Seconds,
+        energy: Joules,
+    ) -> Result<(), SimError> {
+        if !duration.is_finite() || duration.value() < 0.0 {
+            return Err(SimError::invalid(format!(
+                "phase duration must be non-negative and finite, got {}",
+                duration.value()
+            )));
+        }
+        if !energy.is_finite() || energy.value() < 0.0 {
+            return Err(SimError::invalid(format!(
+                "phase energy must be non-negative and finite, got {}",
+                energy.value()
+            )));
+        }
+        self.phases.push(PhaseEnergy {
+            label: label.into(),
+            duration,
+            energy,
+        });
+        Ok(())
+    }
+
+    /// Record a phase in which each listed node ran at a constant utilization
+    /// for the full phase duration: the cluster energy is
+    /// `duration · Σ_i power_i(utilization_i)` — exactly how the paper turns
+    /// per-node utilization into cluster energy.
+    pub fn record_phase_with_nodes<'a>(
+        &mut self,
+        label: impl Into<String>,
+        duration: Seconds,
+        nodes: impl IntoIterator<Item = (&'a NodeSpec, f64)>,
+    ) -> Result<(), SimError> {
+        let mut power = Watts::zero();
+        for (spec, utilization) in nodes {
+            if !(0.0..=1.0).contains(&utilization) {
+                return Err(SimError::invalid(format!(
+                    "utilization {utilization} for node {} outside [0, 1]",
+                    spec.name
+                )));
+            }
+            power += spec.power_at(utilization);
+        }
+        self.record(label, duration, power * duration)
+    }
+
+    /// The recorded phases in order.
+    pub fn phases(&self) -> &[PhaseEnergy] {
+        &self.phases
+    }
+
+    /// Total response time (sum of sequential phase durations).
+    pub fn total_time(&self) -> Seconds {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Total cluster energy over all phases.
+    pub fn total_energy(&self) -> Joules {
+        self.phases.iter().map(|p| p.energy).sum()
+    }
+
+    /// Average cluster power over the whole execution.
+    pub fn average_power(&self) -> Watts {
+        let t = self.total_time();
+        if t.value() <= f64::EPSILON {
+            Watts::zero()
+        } else {
+            self.total_energy() / t
+        }
+    }
+
+    /// Collapse the meter into a [`Measurement`] (response time + energy).
+    pub fn measurement(&self) -> Measurement {
+        Measurement::new(self.total_time(), self.total_energy())
+    }
+
+    /// Merge another meter's phases into this one (e.g. combining the meters
+    /// of independently-metered sub-plans).
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.phases.extend_from_slice(&other.phases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{cluster_v_node, laptop_b};
+
+    #[test]
+    fn totals_accumulate_across_phases() {
+        let mut meter = EnergyMeter::new();
+        meter.record("build", Seconds(10.0), Joules(2000.0)).unwrap();
+        meter.record("probe", Seconds(30.0), Joules(5000.0)).unwrap();
+        assert_eq!(meter.total_time(), Seconds(40.0));
+        assert_eq!(meter.total_energy(), Joules(7000.0));
+        assert!((meter.average_power().value() - 175.0).abs() < 1e-9);
+        let m = meter.measurement();
+        assert_eq!(m.response_time, Seconds(40.0));
+        assert_eq!(m.energy, Joules(7000.0));
+    }
+
+    #[test]
+    fn phase_average_power() {
+        let phase = PhaseEnergy {
+            label: "build".into(),
+            duration: Seconds(4.0),
+            energy: Joules(800.0),
+        };
+        assert_eq!(phase.average_power(), Watts(200.0));
+        let empty = PhaseEnergy {
+            label: "noop".into(),
+            duration: Seconds(0.0),
+            energy: Joules(0.0),
+        };
+        assert_eq!(empty.average_power(), Watts::zero());
+    }
+
+    #[test]
+    fn record_phase_with_nodes_sums_node_power() {
+        let beefy = cluster_v_node();
+        let wimpy = laptop_b();
+        let mut meter = EnergyMeter::new();
+        meter
+            .record_phase_with_nodes("probe", Seconds(10.0), [(&beefy, 0.5), (&wimpy, 1.0)])
+            .unwrap();
+        let expected = (beefy.power_at(0.5) + wimpy.power_at(1.0)) * Seconds(10.0);
+        assert!((meter.total_energy().value() - expected.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_records_are_rejected() {
+        let mut meter = EnergyMeter::new();
+        assert!(meter.record("x", Seconds(-1.0), Joules(1.0)).is_err());
+        assert!(meter.record("x", Seconds(1.0), Joules(-1.0)).is_err());
+        assert!(meter.record("x", Seconds(f64::NAN), Joules(1.0)).is_err());
+        let beefy = cluster_v_node();
+        assert!(meter
+            .record_phase_with_nodes("x", Seconds(1.0), [(&beefy, 1.4)])
+            .is_err());
+    }
+
+    #[test]
+    fn merge_concatenates_phases() {
+        let mut a = EnergyMeter::new();
+        a.record("build", Seconds(1.0), Joules(10.0)).unwrap();
+        let mut b = EnergyMeter::new();
+        b.record("probe", Seconds(2.0), Joules(20.0)).unwrap();
+        a.merge(&b);
+        assert_eq!(a.phases().len(), 2);
+        assert_eq!(a.total_energy(), Joules(30.0));
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let meter = EnergyMeter::new();
+        assert_eq!(meter.total_time(), Seconds::zero());
+        assert_eq!(meter.total_energy(), Joules::zero());
+        assert_eq!(meter.average_power(), Watts::zero());
+    }
+}

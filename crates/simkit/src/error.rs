@@ -1,0 +1,75 @@
+//! Error types for the simulation substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A model was asked to evaluate an input outside its valid domain
+    /// (for example, a negative CPU utilization or a zero-duration phase).
+    InvalidInput {
+        /// Human-readable description of what was invalid.
+        reason: String,
+    },
+    /// Regression fitting was attempted with too few or degenerate samples.
+    FitFailed {
+        /// Human-readable description of why the fit failed.
+        reason: String,
+    },
+    /// A named hardware profile was not found in the catalog.
+    UnknownHardware {
+        /// The name that was looked up.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            SimError::FitFailed { reason } => write!(f, "power model fit failed: {reason}"),
+            SimError::UnknownHardware { name } => write!(f, "unknown hardware profile: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidInput`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        SimError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::FitFailed`].
+    pub fn fit(reason: impl Into<String>) -> Self {
+        SimError::FitFailed {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SimError::invalid("negative utilization");
+        assert!(e.to_string().contains("negative utilization"));
+        let e = SimError::fit("only one sample");
+        assert!(e.to_string().contains("fit failed"));
+        let e = SimError::UnknownHardware {
+            name: "laptop-z".into(),
+        };
+        assert!(e.to_string().contains("laptop-z"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimError::invalid("x"), SimError::invalid("x"));
+        assert_ne!(SimError::invalid("x"), SimError::fit("x"));
+    }
+}

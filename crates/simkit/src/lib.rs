@@ -1,0 +1,45 @@
+//! # eedc-simkit
+//!
+//! Simulation substrate for the energy-efficient database cluster design toolkit.
+//!
+//! This crate provides the building blocks that every higher layer of the
+//! workspace relies on:
+//!
+//! * strongly-typed physical [`units`] (seconds, joules, watts, megabytes),
+//! * node [`power`] models (the CPU-utilization → wall-power regression models
+//!   published in the paper, plus fitting routines to derive new ones from
+//!   measurements),
+//! * per-node hardware descriptions ([`node::NodeSpec`]) and a [`catalog`] of the
+//!   exact machines used in the paper (Cluster-V servers, the Beefy L5630 nodes,
+//!   the Wimpy "Laptop B", the Atom desktop, and the two workstations),
+//! * [`trace`]s of CPU utilization over time and [`energy`] meters that integrate
+//!   them into joules,
+//! * the energy-efficiency [`metrics`] used throughout the paper: response time,
+//!   performance (1 / response time), energy, the Energy-Delay-Product (EDP) and
+//!   normalized energy-vs-performance points relative to a reference
+//!   configuration.
+//!
+//! The substrate is deliberately free of any database logic; the storage engine,
+//! the P-store execution kernel, the behavioural DBMS simulators and the
+//! analytical model are all built on top of it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod energy;
+pub mod error;
+pub mod metrics;
+pub mod node;
+pub mod power;
+pub mod trace;
+pub mod units;
+
+pub use catalog::HardwareCatalog;
+pub use energy::{EnergyMeter, PhaseEnergy};
+pub use error::SimError;
+pub use metrics::{EdpLine, Measurement, NormalizedPoint, NormalizedSeries};
+pub use node::{NodeClass, NodeSpec, NodeSpecBuilder};
+pub use power::{FitReport, PowerModel, PowerSample};
+pub use trace::UtilizationTrace;
+pub use units::{Joules, Megabytes, MegabytesPerSec, Seconds, Watts};

@@ -1,0 +1,411 @@
+//! Energy-efficiency metrics: response time, performance, energy, the
+//! Energy-Delay-Product (EDP), and the normalized energy-vs-performance
+//! points that every figure in the paper plots.
+//!
+//! The paper's convention (Section 1):
+//!
+//! * *performance* is the inverse of the query response time,
+//! * *energy* is the total cluster energy for the query,
+//! * every cluster design point is plotted as a pair of ratios relative to a
+//!   reference configuration (the largest, or all-Beefy, cluster):
+//!   `normalized performance = T_ref / T` and
+//!   `normalized energy = E / E_ref`,
+//! * the dotted *constant-EDP* curve marks the points where an `x%` loss in
+//!   performance buys exactly an `x%` drop in energy
+//!   (`E·T = E_ref·T_ref ⇔ normalized energy = normalized performance`);
+//!   points **below** that curve trade proportionally less performance for
+//!   more energy savings and are the interesting design points.
+
+use crate::error::SimError;
+use crate::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tolerance used when classifying points against the constant-EDP curve.
+const EDP_EPSILON: f64 = 1e-9;
+
+/// One measured (or modeled) execution: the query response time and the total
+/// cluster energy it consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Query response time.
+    pub response_time: Seconds,
+    /// Total cluster energy.
+    pub energy: Joules,
+}
+
+impl Measurement {
+    /// Construct a measurement.
+    pub fn new(response_time: Seconds, energy: Joules) -> Self {
+        Self {
+            response_time,
+            energy,
+        }
+    }
+
+    /// Performance, defined as the inverse of the response time.
+    pub fn performance(&self) -> f64 {
+        if self.response_time.value() <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            1.0 / self.response_time.value()
+        }
+    }
+
+    /// The Energy-Delay Product in joule·seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy.value() * self.response_time.value()
+    }
+
+    /// Normalize this measurement against a reference measurement, producing
+    /// the (performance ratio, energy ratio) pair the paper plots.
+    pub fn normalized_against(&self, reference: &Measurement) -> Result<NormalizedPoint, SimError> {
+        if reference.response_time.value() <= 0.0 || reference.energy.value() <= 0.0 {
+            return Err(SimError::invalid(
+                "reference measurement must have positive response time and energy",
+            ));
+        }
+        if self.response_time.value() <= 0.0 || self.energy.value() < 0.0 {
+            return Err(SimError::invalid(
+                "measurement must have positive response time and non-negative energy",
+            ));
+        }
+        Ok(NormalizedPoint {
+            performance: reference.response_time.value() / self.response_time.value(),
+            energy: self.energy.value() / reference.energy.value(),
+        })
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} s / {:.1} J", self.response_time.value(), self.energy.value())
+    }
+}
+
+/// A design point expressed relative to a reference configuration, exactly as
+/// plotted in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedPoint {
+    /// `T_ref / T`: 1.0 means as fast as the reference, 0.5 means twice as
+    /// slow.
+    pub performance: f64,
+    /// `E / E_ref`: 1.0 means the same energy as the reference, 0.5 means half
+    /// the energy.
+    pub energy: f64,
+}
+
+impl NormalizedPoint {
+    /// The reference point itself: performance 1.0, energy 1.0.
+    pub fn reference() -> Self {
+        Self {
+            performance: 1.0,
+            energy: 1.0,
+        }
+    }
+
+    /// Normalized EDP relative to the reference: `(E/E_ref)·(T/T_ref)`,
+    /// i.e. `energy / performance`. The constant-EDP curve is the set of
+    /// points where this equals 1.
+    pub fn edp_ratio(&self) -> f64 {
+        if self.performance <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            self.energy / self.performance
+        }
+    }
+
+    /// The energy a point at this performance would have if it sat exactly on
+    /// the constant-EDP curve.
+    pub fn edp_energy_at_same_performance(&self) -> f64 {
+        self.performance
+    }
+
+    /// Whether the point lies strictly below the constant-EDP curve — the
+    /// favourable region where the relative energy saving exceeds the relative
+    /// performance loss.
+    pub fn is_below_edp(&self) -> bool {
+        self.energy + EDP_EPSILON < self.performance
+    }
+
+    /// Whether the point lies strictly above the constant-EDP curve — the
+    /// unfavourable region where more performance is given up than energy is
+    /// saved.
+    pub fn is_above_edp(&self) -> bool {
+        self.energy > self.performance + EDP_EPSILON
+    }
+
+    /// Fractional energy saving relative to the reference (positive is a
+    /// saving). The paper quotes these as e.g. "a 16% decrease in energy".
+    pub fn energy_saving(&self) -> f64 {
+        1.0 - self.energy
+    }
+
+    /// Fractional performance loss relative to the reference (positive is a
+    /// loss). The paper quotes these as e.g. "a 24% penalty in performance".
+    pub fn performance_loss(&self) -> f64 {
+        1.0 - self.performance
+    }
+}
+
+impl fmt::Display for NormalizedPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "perf {:.3}, energy {:.3} ({})",
+            self.performance,
+            self.energy,
+            if self.is_below_edp() {
+                "below EDP"
+            } else if self.is_above_edp() {
+                "above EDP"
+            } else {
+                "on EDP"
+            }
+        )
+    }
+}
+
+/// The constant-EDP reference curve drawn (dotted) in every figure.
+///
+/// In normalized coordinates the curve is simply `energy = performance`; this
+/// type exists to make that reading explicit in harness code and to sample the
+/// curve for plotting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdpLine;
+
+impl EdpLine {
+    /// The normalized energy on the constant-EDP curve at the given normalized
+    /// performance.
+    pub fn energy_at(&self, performance: f64) -> f64 {
+        performance
+    }
+
+    /// Sample the curve at `n` evenly spaced performance values in
+    /// `[lo, hi]` (inclusive), for plotting.
+    pub fn sample(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![(lo, self.energy_at(lo))];
+        }
+        (0..n)
+            .map(|i| {
+                let p = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (p, self.energy_at(p))
+            })
+            .collect()
+    }
+}
+
+/// A labelled series of normalized design points relative to a single
+/// reference configuration — one figure's worth of data.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedSeries {
+    /// Label of the reference configuration (e.g. `"16N"` or `"8B,0W"`).
+    pub reference_label: String,
+    /// Labelled points, in the order they were added.
+    pub points: Vec<(String, NormalizedPoint)>,
+}
+
+impl NormalizedSeries {
+    /// Start a series whose reference configuration carries the given label.
+    /// The reference point itself (1.0, 1.0) is inserted automatically.
+    pub fn with_reference(label: impl Into<String>) -> Self {
+        let label = label.into();
+        Self {
+            reference_label: label.clone(),
+            points: vec![(label, NormalizedPoint::reference())],
+        }
+    }
+
+    /// Build a series from raw measurements: the first element of
+    /// `measurements` tagged `reference_label` is used as the reference.
+    pub fn from_measurements(
+        reference_label: impl Into<String>,
+        reference: Measurement,
+        measurements: impl IntoIterator<Item = (String, Measurement)>,
+    ) -> Result<Self, SimError> {
+        let mut series = Self::with_reference(reference_label);
+        for (label, m) in measurements {
+            series.push(label, m.normalized_against(&reference)?);
+        }
+        Ok(series)
+    }
+
+    /// Append a labelled point.
+    pub fn push(&mut self, label: impl Into<String>, point: NormalizedPoint) {
+        self.points.push((label.into(), point));
+    }
+
+    /// The labelled points.
+    pub fn points(&self) -> &[(String, NormalizedPoint)] {
+        &self.points
+    }
+
+    /// Points lying strictly below the constant-EDP curve.
+    pub fn below_edp(&self) -> impl Iterator<Item = &(String, NormalizedPoint)> {
+        self.points.iter().filter(|(_, p)| p.is_below_edp())
+    }
+
+    /// The point with the lowest normalized energy, if any.
+    pub fn lowest_energy(&self) -> Option<&(String, NormalizedPoint)> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.1.energy.total_cmp(&b.1.energy))
+    }
+
+    /// The point with the highest normalized performance, if any.
+    pub fn highest_performance(&self) -> Option<&(String, NormalizedPoint)> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.1.performance.total_cmp(&b.1.performance))
+    }
+
+    /// Among points whose performance is at least `min_performance`, the one
+    /// with the lowest energy — the paper's "pick the most efficient design
+    /// that still meets the performance target" selection rule (Section 6).
+    pub fn best_meeting_target(
+        &self,
+        min_performance: f64,
+    ) -> Option<&(String, NormalizedPoint)> {
+        self.points
+            .iter()
+            .filter(|(_, p)| p.performance + EDP_EPSILON >= min_performance)
+            .min_by(|a, b| a.1.energy.total_cmp(&b.1.energy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(t: f64, e: f64) -> Measurement {
+        Measurement::new(Seconds(t), Joules(e))
+    }
+
+    #[test]
+    fn performance_is_inverse_response_time() {
+        let m = measurement(4.0, 100.0);
+        assert!((m.performance() - 0.25).abs() < 1e-12);
+        assert_eq!(m.edp(), 400.0);
+    }
+
+    #[test]
+    fn normalization_matches_paper_convention() {
+        // Reference: 16 nodes, 100 s, 10 kJ. Smaller cluster: 150 s, 8 kJ.
+        let reference = measurement(100.0, 10_000.0);
+        let smaller = measurement(150.0, 8_000.0);
+        let p = smaller.normalized_against(&reference).unwrap();
+        assert!((p.performance - 100.0 / 150.0).abs() < 1e-12);
+        assert!((p.energy - 0.8).abs() < 1e-12);
+        // 33% slower for 20% energy saving → above the EDP curve.
+        assert!(p.is_above_edp());
+        assert!(!p.is_below_edp());
+        assert!((p.energy_saving() - 0.2).abs() < 1e-12);
+        assert!((p.performance_loss() - (1.0 - 100.0 / 150.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_1a_10n_point_is_above_edp() {
+        // "the 10 node configuration pays a 24% penalty in performance for a
+        // 16% decrease in energy consumption over the 16N case".
+        let p = NormalizedPoint {
+            performance: 0.76,
+            energy: 0.84,
+        };
+        assert!(p.is_above_edp());
+        assert!((p.edp_ratio() - 0.84 / 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_1b_heterogeneous_point_is_below_edp() {
+        // Heterogeneous designs in Figure 1(b) save proportionally more energy
+        // than they lose in performance.
+        let p = NormalizedPoint {
+            performance: 0.9,
+            energy: 0.55,
+        };
+        assert!(p.is_below_edp());
+        assert!(p.edp_ratio() < 1.0);
+    }
+
+    #[test]
+    fn constant_edp_point_is_neither_above_nor_below() {
+        let p = NormalizedPoint {
+            performance: 0.7,
+            energy: 0.7,
+        };
+        assert!(!p.is_below_edp());
+        assert!(!p.is_above_edp());
+        assert!((p.edp_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_line_is_the_diagonal() {
+        let line = EdpLine;
+        assert_eq!(line.energy_at(0.6), 0.6);
+        let samples = line.sample(0.5, 1.0, 6);
+        assert_eq!(samples.len(), 6);
+        assert_eq!(samples.first().copied(), Some((0.5, 0.5)));
+        assert_eq!(samples.last().copied(), Some((1.0, 1.0)));
+        assert!(line.sample(0.0, 1.0, 0).is_empty());
+        assert_eq!(line.sample(0.3, 1.0, 1), vec![(0.3, 0.3)]);
+    }
+
+    #[test]
+    fn normalization_rejects_degenerate_reference() {
+        let zero_t = measurement(0.0, 100.0);
+        let zero_e = measurement(10.0, 0.0);
+        let ok = measurement(10.0, 100.0);
+        assert!(ok.normalized_against(&zero_t).is_err());
+        assert!(ok.normalized_against(&zero_e).is_err());
+        assert!(zero_t.normalized_against(&ok).is_err());
+    }
+
+    #[test]
+    fn series_selection_helpers() {
+        let reference = measurement(100.0, 10_000.0);
+        let series = NormalizedSeries::from_measurements(
+            "16N",
+            reference,
+            vec![
+                ("14N".to_string(), measurement(110.0, 9_500.0)),
+                ("12N".to_string(), measurement(125.0, 9_000.0)),
+                ("10N".to_string(), measurement(132.0, 8_400.0)),
+                ("8N".to_string(), measurement(156.0, 8_000.0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(series.points().len(), 5);
+        assert_eq!(series.lowest_energy().unwrap().0, "8N");
+        assert_eq!(series.highest_performance().unwrap().0, "16N");
+        // With a 0.75 performance floor, 10N (perf 0.7576) is the most
+        // efficient admissible configuration.
+        assert_eq!(series.best_meeting_target(0.75).unwrap().0, "10N");
+        // An unreachable target returns the reference (perf 1.0) only.
+        assert_eq!(series.best_meeting_target(1.0).unwrap().0, "16N");
+        // Homogeneous scale-down points sit above the EDP curve.
+        assert_eq!(series.below_edp().count(), 0);
+    }
+
+    #[test]
+    fn series_with_reference_contains_the_reference_point() {
+        let series = NormalizedSeries::with_reference("8B,0W");
+        assert_eq!(series.points().len(), 1);
+        assert_eq!(series.points()[0].0, "8B,0W");
+        assert_eq!(series.points()[0].1, NormalizedPoint::reference());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = measurement(12.345, 678.9);
+        assert!(m.to_string().contains("12.35 s"));
+        let p = NormalizedPoint {
+            performance: 0.9,
+            energy: 0.5,
+        };
+        assert!(p.to_string().contains("below EDP"));
+    }
+}

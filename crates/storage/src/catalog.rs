@@ -1,0 +1,258 @@
+//! Per-node and cluster-wide table catalogs.
+//!
+//! A [`NodeCatalog`] is the set of table fragments physically resident on one
+//! node; a [`ClusterCatalog`] owns one node catalog per cluster node plus the
+//! layout metadata ([`PartitionSpec`]) of every distributed table. This
+//! mirrors the physical design step of the paper's Vertica experiments, where
+//! LINEITEM / ORDERS / CUSTOMER are hash-segmented and the small dimension
+//! tables are replicated everywhere.
+
+use crate::error::StorageError;
+use crate::partition::{hash_partition, replicate, round_robin_partition, PartitionSpec, Partitioned};
+use crate::table::Table;
+use eedc_simkit::units::Megabytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The tables resident on one node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeCatalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl NodeCatalog {
+    /// An empty node catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table fragment under a logical table name.
+    pub fn insert(&mut self, logical_name: impl Into<String>, fragment: Table) {
+        self.tables.insert(logical_name.into(), fragment);
+    }
+
+    /// Look up a fragment by logical table name.
+    pub fn get(&self, logical_name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(logical_name)
+            .ok_or_else(|| StorageError::UnknownTable {
+                table: logical_name.into(),
+            })
+    }
+
+    /// Logical table names stored on this node.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total payload bytes stored on this node.
+    pub fn resident_bytes(&self) -> Megabytes {
+        self.tables.values().map(Table::byte_size).sum()
+    }
+
+    /// Number of tables resident on this node.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the node stores no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// The physical layout of a cluster: one [`NodeCatalog`] per node plus the
+/// partitioning spec of every logical table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCatalog {
+    nodes: Vec<NodeCatalog>,
+    layouts: BTreeMap<String, PartitionSpec>,
+}
+
+impl ClusterCatalog {
+    /// An empty catalog for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes: vec![NodeCatalog::new(); nodes],
+            layouts: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The catalog of one node.
+    pub fn node(&self, node: usize) -> Result<&NodeCatalog, StorageError> {
+        self.nodes.get(node).ok_or_else(|| {
+            StorageError::invalid(format!(
+                "node {node} outside cluster of {} nodes",
+                self.nodes.len()
+            ))
+        })
+    }
+
+    /// Distribute a table across the cluster according to `spec`, registering
+    /// the resulting fragments on every node.
+    pub fn distribute(
+        &mut self,
+        table: &Table,
+        spec: PartitionSpec,
+    ) -> Result<&PartitionSpec, StorageError> {
+        let nodes = self.nodes.len();
+        let partitioned: Partitioned = match &spec {
+            PartitionSpec::Hash { column } => hash_partition(table, column, nodes)?,
+            PartitionSpec::Replicated => replicate(table, nodes)?,
+            PartitionSpec::RoundRobin => round_robin_partition(table, nodes)?,
+        };
+        for (node, fragment) in self.nodes.iter_mut().zip(partitioned.fragments) {
+            node.insert(table.name(), fragment);
+        }
+        self.layouts.insert(table.name().to_string(), spec);
+        Ok(self
+            .layouts
+            .get(table.name())
+            .expect("layout inserted above"))
+    }
+
+    /// The layout of a logical table, if it has been distributed.
+    pub fn layout(&self, logical_name: &str) -> Option<&PartitionSpec> {
+        self.layouts.get(logical_name)
+    }
+
+    /// The fragment of `logical_name` on `node`.
+    pub fn fragment(&self, node: usize, logical_name: &str) -> Result<&Table, StorageError> {
+        self.node(node)?.get(logical_name)
+    }
+
+    /// Every fragment of a logical table, in node order.
+    pub fn fragments(&self, logical_name: &str) -> Result<Vec<&Table>, StorageError> {
+        self.nodes
+            .iter()
+            .map(|n| n.get(logical_name))
+            .collect::<Result<Vec<_>, _>>()
+    }
+
+    /// Total rows of a logical table across the cluster (replicated tables
+    /// count every copy).
+    pub fn total_rows(&self, logical_name: &str) -> Result<usize, StorageError> {
+        Ok(self
+            .fragments(logical_name)?
+            .iter()
+            .map(|t| t.row_count())
+            .sum())
+    }
+
+    /// Per-node resident data volumes, in node order.
+    pub fn resident_bytes_per_node(&self) -> Vec<Megabytes> {
+        self.nodes.iter().map(NodeCatalog::resident_bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_tpch::gen::{LineitemGenerator, OrdersGenerator};
+    use eedc_tpch::scale::ScaleFactor;
+
+    const SCALE: ScaleFactor = ScaleFactor(0.002);
+
+    fn cluster() -> ClusterCatalog {
+        let mut catalog = ClusterCatalog::new(4);
+        let lineitem = Table::from_lineitem(LineitemGenerator::new(SCALE, 1));
+        let orders = Table::from_orders(OrdersGenerator::new(SCALE, 1));
+        catalog
+            .distribute(&lineitem, PartitionSpec::hash("L_ORDERKEY"))
+            .unwrap();
+        catalog
+            .distribute(&orders, PartitionSpec::hash("O_CUSTKEY"))
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn distribution_registers_fragments_on_every_node() {
+        let catalog = cluster();
+        assert_eq!(catalog.node_count(), 4);
+        for node in 0..4 {
+            let nc = catalog.node(node).unwrap();
+            assert_eq!(nc.len(), 2);
+            assert!(nc.get("LINEITEM").is_ok());
+            assert!(nc.get("ORDERS").is_ok());
+            assert!(nc.resident_bytes().value() > 0.0);
+        }
+        assert!(catalog.node(9).is_err());
+    }
+
+    #[test]
+    fn hash_distribution_preserves_row_counts() {
+        let catalog = cluster();
+        let orders_total = ScaleFactor(0.002).cardinality(eedc_tpch::schema::TpchTable::Orders);
+        assert_eq!(catalog.total_rows("ORDERS").unwrap() as u64, orders_total);
+    }
+
+    #[test]
+    fn replication_stores_full_copies() {
+        let mut catalog = ClusterCatalog::new(3);
+        let orders = Table::from_orders(OrdersGenerator::new(SCALE, 2));
+        catalog
+            .distribute(&orders, PartitionSpec::Replicated)
+            .unwrap();
+        assert_eq!(
+            catalog.total_rows("ORDERS").unwrap(),
+            3 * orders.row_count()
+        );
+        for node in 0..3 {
+            assert_eq!(
+                catalog.fragment(node, "ORDERS").unwrap().row_count(),
+                orders.row_count()
+            );
+        }
+        assert_eq!(catalog.layout("ORDERS"), Some(&PartitionSpec::Replicated));
+    }
+
+    #[test]
+    fn layouts_are_recorded() {
+        let catalog = cluster();
+        assert_eq!(
+            catalog.layout("LINEITEM"),
+            Some(&PartitionSpec::hash("L_ORDERKEY"))
+        );
+        assert_eq!(
+            catalog.layout("ORDERS"),
+            Some(&PartitionSpec::hash("O_CUSTKEY"))
+        );
+        assert_eq!(catalog.layout("CUSTOMER"), None);
+    }
+
+    #[test]
+    fn unknown_tables_are_errors() {
+        let catalog = cluster();
+        assert!(catalog.fragment(0, "CUSTOMER").is_err());
+        assert!(catalog.fragments("CUSTOMER").is_err());
+        assert!(catalog.total_rows("CUSTOMER").is_err());
+        let nc = NodeCatalog::new();
+        assert!(nc.is_empty());
+        assert!(nc.get("X").is_err());
+    }
+
+    #[test]
+    fn resident_bytes_reflect_partitioning() {
+        let catalog = cluster();
+        let per_node = catalog.resident_bytes_per_node();
+        assert_eq!(per_node.len(), 4);
+        let total: f64 = per_node.iter().map(|m| m.value()).sum();
+        assert!(total > 0.0);
+        // Hash partitioning spreads the data roughly evenly.
+        let max = per_node.iter().map(|m| m.value()).fold(0.0, f64::max);
+        assert!(max / (total / 4.0) < 1.25);
+    }
+
+    #[test]
+    fn node_catalog_table_names() {
+        let catalog = cluster();
+        let names: Vec<&str> = catalog.node(0).unwrap().table_names().collect();
+        assert_eq!(names, vec!["LINEITEM", "ORDERS"]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # eedc-storage
+//!
+//! A small in-memory columnar storage engine: the substrate underneath the
+//! P-store parallel execution kernel.
+//!
+//! The paper describes P-store as being "built on top of a block-iterator
+//! tuple-scan module and a storage engine … that has scan, project, and
+//! select operators" (Section 4.2), with the experiment data stored as
+//! four-column, 20-byte projected tuples in memory to simulate a columnar
+//! storage manager. This crate reproduces that substrate:
+//!
+//! * typed [`column::Column`]s and schema-carrying [`table::Table`]s,
+//! * a [`block`] iterator that hands out fixed-size row ranges so operators
+//!   never materialise whole tables,
+//! * [`predicate`]s (comparison, conjunction, disjunction) for selection,
+//! * [`partition`]ing: hash partitioning and replication of tables across
+//!   cluster nodes, exactly like Vertica's hash segmentation in Section 3.1,
+//! * per-node and cluster-wide [`catalog`]s mapping table names to partitions,
+//! * a [`scan`] operator combining block iteration, predicate evaluation and
+//!   column projection, and reporting the scanned/qualifying volumes that the
+//!   energy model needs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod partition;
+pub mod predicate;
+pub mod scan;
+pub mod table;
+
+pub use block::{Block, BlockIter, DEFAULT_BLOCK_ROWS};
+pub use catalog::{ClusterCatalog, NodeCatalog};
+pub use column::{Column, ColumnType, Value};
+pub use error::StorageError;
+pub use partition::{hash_of_value, hash_partition, PartitionSpec, Partitioned};
+pub use predicate::{CmpOp, Predicate};
+pub use scan::{scan, ScanResult};
+pub use table::{Schema, Table};

@@ -1,0 +1,314 @@
+//! Table partitioning across cluster nodes.
+//!
+//! The paper's clusters place data exactly two ways (Section 3.1): large
+//! tables are *hash partitioned* ("hash segmentation") on a chosen attribute,
+//! and small tables are *replicated* on every node. Whether a join's inputs
+//! are hash partitioned on the join key decides whether the join is
+//! partition-compatible (no network traffic) or requires a shuffle /
+//! broadcast — the central distinction of the whole study.
+
+use crate::column::Value;
+use crate::error::StorageError;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// How a table is laid out across the nodes of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionSpec {
+    /// Hash partition on a column: row goes to `hash(value) % nodes`.
+    Hash {
+        /// The partitioning column.
+        column: String,
+    },
+    /// Full copy of the table on every node.
+    Replicated,
+    /// Round-robin placement (used for tables scanned without joins).
+    RoundRobin,
+}
+
+impl PartitionSpec {
+    /// Hash partitioning on the given column.
+    pub fn hash(column: impl Into<String>) -> Self {
+        PartitionSpec::Hash {
+            column: column.into(),
+        }
+    }
+
+    /// Whether two specs co-partition their tables for a join on the given
+    /// pair of key columns: both must be hash partitioned on exactly those
+    /// columns. Replicated build sides are also join-compatible (every node
+    /// already holds the whole table).
+    pub fn join_compatible(&self, probe_key: &str, build: &PartitionSpec, build_key: &str) -> bool {
+        match (self, build) {
+            (PartitionSpec::Hash { column: a }, PartitionSpec::Hash { column: b }) => {
+                a == probe_key && b == build_key
+            }
+            (_, PartitionSpec::Replicated) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A deterministic 64-bit mix (splitmix64 finaliser) so partition placement is
+/// stable across runs and platforms.
+pub fn hash_of_value(value: &Value) -> u64 {
+    let raw = match *value {
+        Value::Int64(v) => v as u64,
+        Value::Int32(v) => v as i64 as u64,
+        Value::Float64(v) => v.to_bits(),
+    };
+    let mut z = raw.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A table split into per-node fragments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioned {
+    /// The layout that produced the fragments.
+    pub spec: PartitionSpec,
+    /// One fragment per node, in node order.
+    pub fragments: Vec<Table>,
+}
+
+impl Partitioned {
+    /// Total rows across fragments.
+    pub fn total_rows(&self) -> usize {
+        self.fragments.iter().map(Table::row_count).sum()
+    }
+
+    /// Number of fragments (nodes).
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Whether there are no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// The ratio of the largest fragment's row count to the mean fragment row
+    /// count — 1.0 is perfect balance; data skew drives it above 1.
+    pub fn imbalance(&self) -> f64 {
+        if self.fragments.is_empty() {
+            return 1.0;
+        }
+        let total = self.total_rows() as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.fragments.len() as f64;
+        let max = self
+            .fragments
+            .iter()
+            .map(Table::row_count)
+            .max()
+            .unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+/// Hash partition `table` on `column` into `nodes` fragments.
+pub fn hash_partition(
+    table: &Table,
+    column: &str,
+    nodes: usize,
+) -> Result<Partitioned, StorageError> {
+    if nodes == 0 {
+        return Err(StorageError::invalid("cannot partition across zero nodes"));
+    }
+    // Resolve the partition column up front so the error mentions the table.
+    let key = table.column_by_name(column)?;
+    let mut fragments: Vec<Table> = (0..nodes)
+        .map(|i| {
+            let mut t = Table::with_capacity(
+                format!("{}_part{}", table.name(), i),
+                table.schema().clone(),
+                table.row_count() / nodes + 1,
+            );
+            t.set_name(format!("{}_part{}", table.name(), i));
+            t
+        })
+        .collect();
+    for row in 0..table.row_count() {
+        let value = key
+            .get(row)
+            .ok_or_else(|| StorageError::invalid(format!("row {row} out of bounds")))?;
+        let node = (hash_of_value(&value) % nodes as u64) as usize;
+        fragments[node].append_row_from(table, row)?;
+    }
+    Ok(Partitioned {
+        spec: PartitionSpec::hash(column),
+        fragments,
+    })
+}
+
+/// Replicate `table` onto `nodes` nodes (every fragment is a full copy).
+pub fn replicate(table: &Table, nodes: usize) -> Result<Partitioned, StorageError> {
+    if nodes == 0 {
+        return Err(StorageError::invalid("cannot replicate across zero nodes"));
+    }
+    Ok(Partitioned {
+        spec: PartitionSpec::Replicated,
+        fragments: vec![table.clone(); nodes],
+    })
+}
+
+/// Round-robin partition `table` into `nodes` fragments.
+pub fn round_robin_partition(table: &Table, nodes: usize) -> Result<Partitioned, StorageError> {
+    if nodes == 0 {
+        return Err(StorageError::invalid("cannot partition across zero nodes"));
+    }
+    let mut fragments: Vec<Table> = (0..nodes)
+        .map(|i| {
+            Table::with_capacity(
+                format!("{}_part{}", table.name(), i),
+                table.schema().clone(),
+                table.row_count() / nodes + 1,
+            )
+        })
+        .collect();
+    for row in 0..table.row_count() {
+        fragments[row % nodes].append_row_from(table, row)?;
+    }
+    Ok(Partitioned {
+        spec: PartitionSpec::RoundRobin,
+        fragments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_tpch::gen::OrdersGenerator;
+    use eedc_tpch::scale::ScaleFactor;
+    use std::collections::HashSet;
+
+    const SCALE: ScaleFactor = ScaleFactor(0.002);
+
+    fn orders() -> Table {
+        Table::from_orders(OrdersGenerator::new(SCALE, 1))
+    }
+
+    #[test]
+    fn hash_partition_is_complete_and_disjoint() {
+        let table = orders();
+        let partitioned = hash_partition(&table, "O_ORDERKEY", 8).unwrap();
+        assert_eq!(partitioned.len(), 8);
+        assert_eq!(partitioned.total_rows(), table.row_count());
+        // Keys are unique, so the union of fragment keys must equal the table
+        // keys without duplication.
+        let mut seen = HashSet::new();
+        for fragment in &partitioned.fragments {
+            let keys = fragment.column_by_name("O_ORDERKEY").unwrap();
+            for i in 0..fragment.row_count() {
+                assert!(seen.insert(keys.get(i).unwrap().as_i64().unwrap()));
+            }
+        }
+        assert_eq!(seen.len(), table.row_count());
+    }
+
+    #[test]
+    fn hash_partition_is_reasonably_balanced() {
+        let partitioned = hash_partition(&orders(), "O_ORDERKEY", 8).unwrap();
+        assert!(partitioned.imbalance() < 1.2, "{}", partitioned.imbalance());
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic() {
+        let a = hash_partition(&orders(), "O_CUSTKEY", 4).unwrap();
+        let b = hash_partition(&orders(), "O_CUSTKEY", 4).unwrap();
+        for (x, y) in a.fragments.iter().zip(&b.fragments) {
+            assert_eq!(x.row_count(), y.row_count());
+        }
+    }
+
+    #[test]
+    fn same_key_lands_on_same_node_across_tables() {
+        // Co-partitioning guarantee: the same join-key value always maps to
+        // the same node, which is what makes pre-partitioned joins free of
+        // network traffic.
+        for key in [1_i64, 17, 123, 999] {
+            let v = Value::Int64(key);
+            assert_eq!(hash_of_value(&v) % 8, hash_of_value(&v) % 8);
+        }
+        // Int32 and Int64 encodings of the same integer hash identically, so
+        // co-partitioning still works when key columns differ only in width.
+        assert_eq!(
+            hash_of_value(&Value::Int64(5)),
+            hash_of_value(&Value::Int32(5))
+        );
+    }
+
+    #[test]
+    fn replication_copies_everything_everywhere() {
+        let table = orders();
+        let replicated = replicate(&table, 3).unwrap();
+        assert_eq!(replicated.len(), 3);
+        assert_eq!(replicated.total_rows(), 3 * table.row_count());
+        assert_eq!(replicated.imbalance(), 1.0);
+        assert_eq!(replicated.spec, PartitionSpec::Replicated);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let partitioned = round_robin_partition(&orders(), 7).unwrap();
+        assert_eq!(partitioned.total_rows(), orders().row_count());
+        assert!(partitioned.imbalance() < 1.01);
+    }
+
+    #[test]
+    fn zero_nodes_is_an_error() {
+        let table = orders();
+        assert!(hash_partition(&table, "O_ORDERKEY", 0).is_err());
+        assert!(replicate(&table, 0).is_err());
+        assert!(round_robin_partition(&table, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_partition_column_is_an_error() {
+        assert!(hash_partition(&orders(), "O_NOPE", 4).is_err());
+    }
+
+    #[test]
+    fn join_compatibility_rules() {
+        let lineitem_on_orderkey = PartitionSpec::hash("L_ORDERKEY");
+        let orders_on_orderkey = PartitionSpec::hash("O_ORDERKEY");
+        let orders_on_custkey = PartitionSpec::hash("O_CUSTKEY");
+        // Vertica setup in Section 3.1: LINEITEM on L_ORDERKEY joined with
+        // ORDERS repartitioned on O_ORDERKEY is compatible; ORDERS hashed on
+        // O_CUSTKEY is not.
+        assert!(lineitem_on_orderkey.join_compatible(
+            "L_ORDERKEY",
+            &orders_on_orderkey,
+            "O_ORDERKEY"
+        ));
+        assert!(!lineitem_on_orderkey.join_compatible(
+            "L_ORDERKEY",
+            &orders_on_custkey,
+            "O_ORDERKEY"
+        ));
+        // A replicated build side is always compatible.
+        assert!(lineitem_on_orderkey.join_compatible(
+            "L_ORDERKEY",
+            &PartitionSpec::Replicated,
+            "O_ORDERKEY"
+        ));
+        assert!(!PartitionSpec::RoundRobin.join_compatible(
+            "L_ORDERKEY",
+            &orders_on_orderkey,
+            "O_ORDERKEY"
+        ));
+    }
+
+    #[test]
+    fn empty_partitioned_imbalance_is_one() {
+        let empty = Partitioned {
+            spec: PartitionSpec::RoundRobin,
+            fragments: Vec::new(),
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Skewed key generation for the data-skew extension study.
+//!
+//! Section 4.1 of the paper identifies data skew as the third bottleneck
+//! category ("even a small skew can cause an imbalance in the utilization of
+//! the cluster nodes") but defers its investigation to future work. We
+//! implement that extension: a Zipf-distributed key generator whose output
+//! can replace the uniform join keys of the base generator, letting the
+//! P-store experiments and the skew-ablation benchmark quantify the node
+//! imbalance and its energy cost.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Zipf-distributed generator over the key domain `1..=n`.
+///
+/// `theta = 0` degenerates to the uniform distribution; `theta ≈ 1` is the
+/// classic heavy Zipf skew where the hottest key receives a large constant
+/// fraction of all references.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZipfKeys {
+    n: u64,
+    theta: f64,
+    /// Cumulative probabilities for the first `PREFIX` ranks; the tail is
+    /// approximated by the continuous integral, which keeps construction O(1)
+    /// in the domain size while staying accurate for the skewed head.
+    harmonic: f64,
+    #[serde(skip, default = "default_rng")]
+    rng: SmallRng,
+}
+
+fn default_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0)
+}
+
+impl ZipfKeys {
+    /// Create a generator over `1..=n` with skew parameter `theta`, seeded for
+    /// reproducibility. `n` must be at least 1; `theta` is clamped to
+    /// `[0, 5]`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let theta = theta.clamp(0.0, 5.0);
+        let harmonic = generalized_harmonic(n, theta);
+        Self {
+            n,
+            theta,
+            harmonic,
+            rng: SmallRng::seed_from_u64(seed ^ 0x51CE_F00D),
+        }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of the key at `rank` (1-based; rank 1 is the hottest key).
+    pub fn probability_of_rank(&self, rank: u64) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        (rank as f64).powf(-self.theta) / self.harmonic
+    }
+
+    /// Draw the next key (1-based, rank order: key `k` has rank `k`).
+    pub fn next_key(&mut self) -> u64 {
+        // Inverse-CDF sampling by bisection over ranks. The CDF is evaluated
+        // with the closed-form generalized-harmonic approximation, which is
+        // exact for theta = 0 and accurate to well under 1% otherwise.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let target = u * self.harmonic;
+        let mut lo = 1u64;
+        let mut hi = self.n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if generalized_harmonic(mid, self.theta) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Generate `count` keys.
+    pub fn take_keys(&mut self, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.next_key()).collect()
+    }
+
+    /// The theoretical load fraction of the most loaded of `partitions` hash
+    /// partitions when keys are assigned round-robin by rank. A perfectly
+    /// uniform distribution yields `1 / partitions`; heavy skew approaches the
+    /// probability of the single hottest key.
+    pub fn max_partition_fraction(&self, partitions: usize) -> f64 {
+        if partitions == 0 {
+            return 1.0;
+        }
+        let mut load = vec![0.0_f64; partitions];
+        // Ranks are assigned to partitions round-robin, mirroring hash
+        // placement of distinct keys; summing the full domain is O(n) but the
+        // domains used in experiments are modest.
+        for rank in 1..=self.n {
+            load[(rank - 1) as usize % partitions] += self.probability_of_rank(rank);
+        }
+        load.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// Generalized harmonic number `H(n, theta) = Σ_{k=1..n} k^-theta`, computed
+/// exactly for small `n` and with the Euler–Maclaurin integral approximation
+/// for large `n` so that construction never scans billion-key domains.
+fn generalized_harmonic(n: u64, theta: f64) -> f64 {
+    const EXACT_LIMIT: u64 = 10_000;
+    if n <= EXACT_LIMIT {
+        return (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+    }
+    let head: f64 = (1..=EXACT_LIMIT).map(|k| (k as f64).powf(-theta)).sum();
+    let tail = if (theta - 1.0).abs() < 1e-9 {
+        (n as f64 / EXACT_LIMIT as f64).ln()
+    } else {
+        ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta)) / (1.0 - theta)
+    };
+    head + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_theta_is_uniform() {
+        let mut gen = ZipfKeys::new(100, 0.0, 1);
+        assert!((gen.probability_of_rank(1) - 0.01).abs() < 1e-9);
+        assert!((gen.probability_of_rank(100) - 0.01).abs() < 1e-9);
+        let keys = gen.take_keys(20_000);
+        let hot = keys.iter().filter(|&&k| k == 1).count() as f64 / keys.len() as f64;
+        assert!(hot < 0.03, "uniform hottest key fraction {hot}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_the_head() {
+        let mut gen = ZipfKeys::new(1000, 1.0, 2);
+        let keys = gen.take_keys(50_000);
+        let head = keys.iter().filter(|&&k| k <= 10).count() as f64 / keys.len() as f64;
+        // With theta=1 over 1000 keys, the top-10 ranks carry ~39% of the mass.
+        assert!(head > 0.30, "head fraction {head}");
+        let p1 = gen.probability_of_rank(1);
+        let p100 = gen.probability_of_rank(100);
+        assert!(p1 / p100 > 50.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let gen = ZipfKeys::new(500, 0.8, 3);
+        let total: f64 = (1..=500).map(|r| gen.probability_of_rank(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(gen.probability_of_rank(0), 0.0);
+        assert_eq!(gen.probability_of_rank(501), 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ZipfKeys::new(100, 0.9, 7).take_keys(100);
+        let b = ZipfKeys::new(100, 0.9, 7).take_keys(100);
+        let c = ZipfKeys::new(100, 0.9, 8).take_keys(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_stay_in_domain() {
+        let mut gen = ZipfKeys::new(64, 1.2, 11);
+        for key in gen.take_keys(10_000) {
+            assert!((1..=64).contains(&key));
+        }
+    }
+
+    #[test]
+    fn partition_imbalance_grows_with_skew() {
+        let uniform = ZipfKeys::new(10_000, 0.0, 1).max_partition_fraction(8);
+        let skewed = ZipfKeys::new(10_000, 1.0, 1).max_partition_fraction(8);
+        assert!((uniform - 0.125).abs() < 0.01, "uniform {uniform}");
+        assert!(skewed > uniform * 1.5, "skewed {skewed} vs uniform {uniform}");
+        // Degenerate partition count.
+        assert_eq!(ZipfKeys::new(10, 0.5, 1).max_partition_fraction(0), 1.0);
+    }
+
+    #[test]
+    fn large_domains_use_the_tail_approximation() {
+        // Construction must be fast and the head probabilities sensible even
+        // for a billion-key domain.
+        let gen = ZipfKeys::new(1_000_000_000, 0.99, 5);
+        let p1 = gen.probability_of_rank(1);
+        assert!(p1 > 0.0 && p1 < 1.0);
+        let gen_uniform = ZipfKeys::new(1_000_000_000, 0.0, 5);
+        let p = gen_uniform.probability_of_rank(123_456_789);
+        assert!((p - 1e-9).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parameters_are_clamped() {
+        let gen = ZipfKeys::new(0, -1.0, 1);
+        assert_eq!(gen.domain(), 1);
+        assert_eq!(gen.theta(), 0.0);
+        let gen = ZipfKeys::new(10, 99.0, 1);
+        assert_eq!(gen.theta(), 5.0);
+    }
+}
