@@ -1,1 +1,7 @@
-fn main() {}
+//! Placeholder for the design-space enumeration benchmark: timing the
+//! (b Beefy, w Wimpy) advisor of Section 6 once `eedc-core` grows the
+//! analytical model (see ROADMAP.md).
+
+fn main() {
+    println!("design_space: pending the eedc-core analytical model (see ROADMAP.md)");
+}

@@ -1,1 +1,14 @@
-fn main() {}
+//! Timing of the model-level sweeps (concurrency levels through the cluster
+//! runtime). Will grow with the analytical model in `eedc-core`.
+
+use eedc_bench::{bench_cluster, time_case};
+use eedc_pstore::concurrency::ConcurrencySweep;
+use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+
+fn main() {
+    let cluster = bench_cluster(4);
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    time_case("sweeps/concurrency_1_2_4", 3, || {
+        ConcurrencySweep::paper(&cluster, &query, JoinStrategy::DualShuffle).expect("sweep runs");
+    });
+}

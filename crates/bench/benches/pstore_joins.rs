@@ -1,1 +1,15 @@
-fn main() {}
+//! Wall-clock timing of the three join strategies through the full cluster
+//! runtime (engine execution + network simulation + energy model).
+
+use eedc_bench::{bench_cluster, time_case};
+use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+
+fn main() {
+    let cluster = bench_cluster(4);
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    for strategy in JoinStrategy::ALL {
+        time_case(&format!("pstore_join/{strategy}"), 5, || {
+            cluster.run(&query, strategy).expect("join runs");
+        });
+    }
+}

@@ -1,1 +1,16 @@
-fn main() {}
+//! Wall-clock timing of the Section 5.1 single-node microbenchmark across
+//! the Table 2 machines.
+
+use eedc_bench::time_case;
+use eedc_pstore::microbench::{single_node_hash_join, MicrobenchOptions};
+use eedc_simkit::HardwareCatalog;
+
+fn main() {
+    let catalog = HardwareCatalog::paper();
+    let options = MicrobenchOptions::default();
+    for spec in catalog.table2_systems() {
+        time_case(&format!("single_node_join/{}", spec.name), 5, || {
+            single_node_hash_join(spec, &options).expect("microbench runs");
+        });
+    }
+}

@@ -1,1 +1,8 @@
-fn main() {}
+//! Placeholder for the Vertica cluster-scaling benchmark: replaying the
+//! Section 3 homogeneous scale-down study through the behavioural DBMS
+//! simulators once `eedc-dbmsim` grows beyond the first-order scaling law
+//! (see ROADMAP.md).
+
+fn main() {
+    println!("vertica_scaling: pending the eedc-dbmsim behavioural simulators (see ROADMAP.md)");
+}

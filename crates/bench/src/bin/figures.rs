@@ -1,1 +1,48 @@
-fn main() {}
+//! Regenerate the paper's headline numbers as a text report: the Figure 5
+//! strategy comparison and the Figure 6 single-node sweep.
+
+use eedc_bench::bench_cluster;
+use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
+use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+use eedc_simkit::HardwareCatalog;
+
+fn main() {
+    let cluster = bench_cluster(8);
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    println!(
+        "== Figure 5: join strategies on {} ({}) ==",
+        cluster.spec().label(),
+        query.label()
+    );
+    for strategy in JoinStrategy::ALL {
+        match cluster.run(&query, strategy) {
+            Ok(execution) => {
+                let m = execution.measurement();
+                println!(
+                    "{strategy:>15}: {:.1} s, {:.1} kJ, {:.0} MB over network",
+                    m.response_time.value(),
+                    m.energy.as_kilojoules(),
+                    execution.bytes_over_network().value(),
+                );
+            }
+            Err(err) => println!("{strategy:>15}: {err}"),
+        }
+    }
+
+    println!();
+    println!("== Figure 6: single-node hash join (10 MB x 2 GB) ==");
+    let catalog = HardwareCatalog::paper();
+    match table2_sweep(&catalog, &MicrobenchOptions::default()) {
+        Ok(results) => {
+            for result in results {
+                println!(
+                    "{:>15}: {:.1} s, {:.0} J",
+                    result.node,
+                    result.duration.value(),
+                    result.energy.value(),
+                );
+            }
+        }
+        Err(err) => println!("sweep failed: {err}"),
+    }
+}

@@ -1,1 +1,55 @@
-//! Placeholder — implemented incrementally.
+//! # eedc-bench
+//!
+//! Benchmark harness for the toolkit. The `benches/` targets are plain
+//! `harness = false` binaries (no external bench framework is available in
+//! this build environment); they share the helpers here. Fleshing the
+//! harness out into timed regression benchmarks is an open item in
+//! `ROADMAP.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use eedc_pstore::{ClusterSpec, PStoreCluster, RunOptions};
+use eedc_simkit::catalog::cluster_v_node;
+use eedc_tpch::ScaleFactor;
+use std::time::Instant;
+
+/// A small uniform Cluster-V cluster loaded with engine-scale data — the
+/// shared fixture of the join benchmarks.
+pub fn bench_cluster(nodes: usize) -> PStoreCluster {
+    let spec =
+        ClusterSpec::homogeneous(cluster_v_node(), nodes).expect("bench cluster spec is valid");
+    let options = RunOptions {
+        engine_scale: ScaleFactor(0.002),
+        ..RunOptions::default()
+    };
+    PStoreCluster::load(spec, options).expect("bench cluster loads")
+}
+
+/// Time a closure over `iterations` runs and print a one-line report.
+/// Returns the mean wall-clock seconds per iteration.
+pub fn time_case<F: FnMut()>(label: &str, iterations: usize, mut case: F) -> f64 {
+    let iterations = iterations.max(1);
+    let start = Instant::now();
+    for _ in 0..iterations {
+        case();
+    }
+    let mean = start.elapsed().as_secs_f64() / iterations as f64;
+    println!("{label}: {:.3} ms/iter over {iterations} iters", mean * 1e3);
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_and_timer_work() {
+        let cluster = bench_cluster(2);
+        assert_eq!(cluster.spec().len(), 2);
+        let mut runs = 0;
+        let mean = time_case("noop", 3, || runs += 1);
+        assert_eq!(runs, 3);
+        assert!(mean >= 0.0);
+    }
+}

@@ -1,1 +1,49 @@
-//! Placeholder — implemented incrementally.
+//! # eedc-core
+//!
+//! The analytical cluster design model of Section 5.4 and the design-space
+//! advisor of Section 6 will live here: closed-form response-time and energy
+//! predictions over `(b Beefy, w Wimpy)` cluster designs, validated against
+//! the P-store runtime, plus the "most efficient design meeting a
+//! performance target" selection rule.
+//!
+//! This crate is currently a skeleton: it carries the published model
+//! [`params`] so the other layers can reference them, and the model itself
+//! is tracked as an open item in `ROADMAP.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod params {
+    //! Published parameters of the Section 5.4 model sweeps.
+    //!
+    //! The sweeps model a 700 GB ORDERS ⋈ 2.8 TB LINEITEM join; these
+    //! working-set sizes are quoted directly by the paper rather than derived
+    //! from a TPC-H scale factor, which is why they live here instead of in
+    //! `eedc_tpch::scale`.
+
+    use eedc_simkit::units::Megabytes;
+
+    /// Working set of the ORDERS input to the Section 5.4 model sweeps
+    /// (700 GB).
+    pub const SWEEP_ORDERS_WORKING_SET: Megabytes = Megabytes(700_000.0);
+
+    /// Working set of the LINEITEM input to the Section 5.4 model sweeps
+    /// (2.8 TB).
+    pub const SWEEP_LINEITEM_WORKING_SET: Megabytes = Megabytes(2_800_000.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::params::*;
+
+    #[test]
+    fn sweep_working_sets_match_section_5_4() {
+        assert_eq!(SWEEP_ORDERS_WORKING_SET.as_gigabytes(), 700.0);
+        assert_eq!(SWEEP_LINEITEM_WORKING_SET.as_gigabytes(), 2800.0);
+        // LINEITEM is exactly 4x ORDERS, mirroring the TPC-H fan-out.
+        assert_eq!(
+            SWEEP_LINEITEM_WORKING_SET.value() / SWEEP_ORDERS_WORKING_SET.value(),
+            4.0
+        );
+    }
+}

@@ -1,1 +1,100 @@
-//! Placeholder — implemented incrementally.
+//! # eedc-dbmsim
+//!
+//! Behavioural simulators of off-the-shelf DBMSs (the Vertica and DBMS-X
+//! studies of Section 3), driven by the measured [`QueryProfile`]s in
+//! `eedc-tpch`. The full simulators — per-query utilization traces, restart
+//! behaviour, disk staging — are tracked as an open item in `ROADMAP.md`;
+//! this skeleton provides the first-order scaling law the profiles imply.
+//!
+//! The law (Section 3.1): node-local work speeds up linearly with the node
+//! count, repartitioning work is pinned by the per-node port bandwidth, and
+//! broadcast work grows slightly as nodes are added. It is exactly why
+//! Q1-style queries scale while Q12-style queries flatten out — the origin
+//! of the paper's energy-proportionality gap.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use eedc_tpch::QueryProfile;
+
+/// First-order behavioural scaling model for one query profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviouralModel {
+    /// The measured profile being extrapolated.
+    pub profile: QueryProfile,
+    /// Node count at which the profile's fractions were measured.
+    pub reference_nodes: usize,
+}
+
+impl BehaviouralModel {
+    /// A model extrapolating from the paper's eight-node Cluster-V
+    /// measurements.
+    pub fn from_paper(profile: QueryProfile) -> Self {
+        Self {
+            profile,
+            reference_nodes: 8,
+        }
+    }
+
+    /// Predicted response time at `nodes` nodes, relative to the reference
+    /// configuration (1.0 = as fast as the reference).
+    pub fn relative_response_time(&self, nodes: usize) -> f64 {
+        let n = nodes.max(1) as f64;
+        let r = self.reference_nodes.max(1) as f64;
+        let local = self.profile.local_fraction * r / n;
+        let repartition = self.profile.repartition_fraction;
+        // A broadcast delivers (n-1)/n of the table to every node no matter
+        // how many participate, so the broadcast term grows gently with n.
+        let broadcast_shape = |k: f64| if k <= 1.0 { 0.0 } else { (k - 1.0) / k };
+        let reference_shape = broadcast_shape(r);
+        let broadcast = if reference_shape <= 0.0 {
+            self.profile.broadcast_fraction
+        } else {
+            self.profile.broadcast_fraction * broadcast_shape(n) / reference_shape
+        };
+        local + repartition + broadcast
+    }
+
+    /// The response-time floor as the cluster grows without bound: the
+    /// network-bound fractions never shrink.
+    pub fn scaling_floor(&self) -> f64 {
+        self.relative_response_time(usize::MAX / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_tpch::QueryId;
+
+    #[test]
+    fn perfectly_local_queries_scale_linearly() {
+        let model = BehaviouralModel::from_paper(QueryProfile::paper(QueryId::Q1));
+        let t8 = model.relative_response_time(8);
+        let t16 = model.relative_response_time(16);
+        assert!((t8 - 1.0).abs() < 1e-12);
+        assert!((t16 - 0.5).abs() < 1e-12);
+        assert!(model.scaling_floor() < 1e-6);
+    }
+
+    #[test]
+    fn repartition_heavy_queries_flatten_out() {
+        // Q12 spends 48% of its execution repartitioning: doubling the nodes
+        // from 8 to 16 only removes half of the *local* 52%.
+        let model = BehaviouralModel::from_paper(QueryProfile::paper(QueryId::Q12));
+        let t16 = model.relative_response_time(16);
+        assert!((t16 - (0.52 / 2.0 + 0.48)).abs() < 1e-12);
+        assert!((model.scaling_floor() - 0.48).abs() < 1e-9);
+        // Shrinking the cluster slows the query down.
+        assert!(model.relative_response_time(4) > 1.0);
+    }
+
+    #[test]
+    fn reference_configuration_is_the_unit_point() {
+        for query in [QueryId::Q1, QueryId::Q3, QueryId::Q12, QueryId::Q21] {
+            let model = BehaviouralModel::from_paper(QueryProfile::paper(query));
+            let t = model.relative_response_time(8);
+            assert!((t - 1.0).abs() < 1e-9, "{query}: {t}");
+        }
+    }
+}

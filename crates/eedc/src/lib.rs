@@ -1,1 +1,54 @@
-//! Placeholder — implemented incrementally.
+//! # eedc
+//!
+//! Umbrella crate for the energy-efficient database cluster toolkit: one
+//! dependency that re-exports every layer of the workspace under a short
+//! module path, and the home of the runnable examples (see `examples/` at
+//! the workspace root).
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simkit`] | `eedc-simkit` | units, power models, hardware catalog, metrics |
+//! | [`netsim`] | `eedc-netsim` | flow-level interconnect simulator |
+//! | [`storage`] | `eedc-storage` | columnar tables, partitioning, scans |
+//! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles |
+//! | [`pstore`] | `eedc-pstore` | operators, cluster runtime, concurrency, microbench |
+//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS scaling models (skeleton) |
+//! | [`model`] | `eedc-core` | analytical design model parameters (skeleton) |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use eedc_core as model;
+pub use eedc_dbmsim as dbmsim;
+pub use eedc_netsim as netsim;
+pub use eedc_pstore as pstore;
+pub use eedc_simkit as simkit;
+pub use eedc_storage as storage;
+pub use eedc_tpch as tpch;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_layers_are_reachable_through_the_umbrella() {
+        // One end-to-end smoke: build a tiny cluster through the re-exported
+        // paths and run a shuffle join.
+        let node = crate::simkit::catalog::cluster_v_node();
+        let spec = crate::pstore::ClusterSpec::homogeneous(node, 2).unwrap();
+        let cluster = crate::pstore::PStoreCluster::load(
+            spec,
+            crate::pstore::RunOptions {
+                engine_scale: crate::tpch::ScaleFactor(0.001),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let execution = cluster
+            .run(
+                &crate::pstore::JoinQuerySpec::q3_dual_shuffle(),
+                crate::pstore::JoinStrategy::DualShuffle,
+            )
+            .unwrap();
+        assert!(execution.output_rows > 0);
+        assert!(execution.measurement().edp() > 0.0);
+    }
+}

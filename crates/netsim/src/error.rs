@@ -70,6 +70,8 @@ mod tests {
         assert!(NetError::invalid("zero bandwidth")
             .to_string()
             .contains("zero bandwidth"));
-        assert!(NetError::stalled("no capacity").to_string().contains("stalled"));
+        assert!(NetError::stalled("no capacity")
+            .to_string()
+            .contains("stalled"));
     }
 }

@@ -65,13 +65,10 @@ impl Fabric {
 
     /// Egress (send) capacity of a node's port.
     pub fn egress(&self, node: NodeId) -> Result<MegabytesPerSec, NetError> {
-        self.egress
-            .get(node)
-            .copied()
-            .ok_or(NetError::UnknownNode {
-                node,
-                fabric_size: self.len(),
-            })
+        self.egress.get(node).copied().ok_or(NetError::UnknownNode {
+            node,
+            fabric_size: self.len(),
+        })
     }
 
     /// The switch backplane capacity, if constrained.
@@ -247,7 +244,10 @@ mod tests {
     fn builder_ignores_out_of_range_overrides() {
         // Overriding a node that does not exist is a no-op rather than a
         // panic; validation still happens at build time.
-        let fabric = Fabric::builder(2).port(9, MegabytesPerSec(1.0)).build().unwrap();
+        let fabric = Fabric::builder(2)
+            .port(9, MegabytesPerSec(1.0))
+            .build()
+            .unwrap();
         assert_eq!(fabric.len(), 2);
     }
 

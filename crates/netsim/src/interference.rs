@@ -39,7 +39,9 @@ impl InterferenceModel {
     pub fn factor(&self, concurrent_flows: usize) -> f64 {
         if concurrent_flows <= 1 {
             return match *self {
-                InterferenceModel::Constant { efficiency } => efficiency.clamp(f64::MIN_POSITIVE, 1.0),
+                InterferenceModel::Constant { efficiency } => {
+                    efficiency.clamp(f64::MIN_POSITIVE, 1.0)
+                }
                 _ => 1.0,
             };
         }

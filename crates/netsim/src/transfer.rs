@@ -38,12 +38,7 @@ pub fn shuffle_flows(qualifying: &[Megabytes], destinations: &[NodeId], group: u
             continue;
         }
         for &destination in destinations {
-            set.push(Flow::with_group(
-                source,
-                destination,
-                bytes * share,
-                group,
-            ));
+            set.push(Flow::with_group(source, destination, bytes * share, group));
         }
     }
     set
@@ -213,7 +208,9 @@ impl<'a> TransferSimulator<'a> {
         let mut node_receive_completion = vec![Seconds::zero(); n_nodes];
         for (idx, flow) in flows.flows().iter().enumerate() {
             let done = completion[idx];
-            let entry = group_completion.entry(flow.group).or_insert(Seconds::zero());
+            let entry = group_completion
+                .entry(flow.group)
+                .or_insert(Seconds::zero());
             *entry = entry.max(done);
             if !flow.is_local() {
                 node_send_completion[flow.source] = node_send_completion[flow.source].max(done);
@@ -262,7 +259,9 @@ mod tests {
     #[test]
     fn empty_flow_set_completes_instantly() {
         let fabric = Fabric::gigabit(2).unwrap();
-        let outcome = TransferSimulator::new(&fabric).run(&FlowSet::new()).unwrap();
+        let outcome = TransferSimulator::new(&fabric)
+            .run(&FlowSet::new())
+            .unwrap();
         assert_eq!(outcome.total_time, Seconds::zero());
         assert!(outcome.group_completion.is_empty());
     }

@@ -1,0 +1,776 @@
+//! The P-store cluster runtime.
+//!
+//! [`PStoreCluster`] executes a [`JoinQuerySpec`] under a chosen
+//! [`JoinStrategy`] against *real* partitioned tables — so join output
+//! cardinalities are exact and verifiable against a scalar reference join —
+//! while *simultaneously* driving the flow-level network simulator of
+//! `eedc-netsim` for transfer times and the `eedc-simkit` power models for
+//! per-phase joules. This dual execution is the paper's methodology in
+//! miniature: engine-level correctness at laptop scale, time/energy modeled
+//! at the nominal (paper) scale.
+//!
+//! ## Engine scale versus nominal scale
+//!
+//! Materialising SF-400 (let alone SF-1000) in memory is neither possible nor
+//! necessary. The runtime generates data at a small *engine* scale factor for
+//! relational correctness and multiplies every byte volume by
+//! `nominal_scale / engine_scale` before it reaches the network simulator,
+//! the scan/compute time model, or the hash-table memory check. TPC-H
+//! cardinalities scale linearly in the scale factor, so the modeled volumes
+//! are exactly what a nominal-scale run would move.
+//!
+//! ## Homogeneous versus heterogeneous execution
+//!
+//! Exactly as in Section 5.2 of the paper, the runtime picks the execution
+//! mode from the build-side hash-table size: if the (nominal-scale) hash
+//! table fits in every node's memory, every node builds and probes
+//! (*homogeneous*); otherwise memory-poor Wimpy nodes are demoted to
+//! scan-and-filter producers that forward qualifying tuples to the Beefy
+//! nodes (*heterogeneous*).
+
+use crate::error::PStoreError;
+use crate::op::exchange::{broadcast_exchange, shuffle_exchange};
+use crate::op::hashjoin::hash_join;
+use crate::plan::{JoinQuerySpec, JoinStrategy};
+use crate::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
+use eedc_netsim::{Fabric, Flow, FlowSet, NodeId, TransferSimulator};
+use eedc_simkit::units::{Joules, Megabytes, MegabytesPerSec, Seconds};
+use eedc_simkit::{NodeClass, NodeSpec};
+use eedc_storage::{hash_partition, round_robin_partition, scan, Partitioned, Predicate, Table};
+use eedc_tpch::gen::{
+    custkey_cutoff_for_selectivity, date_cutoff_for_selectivity, LineitemGenerator, OrdersGenerator,
+};
+use eedc_tpch::ScaleFactor;
+
+/// The hardware composition of a P-store cluster: the per-node specs plus the
+/// interconnect fabric derived from their NIC bandwidths.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+    fabric: Fabric,
+}
+
+impl ClusterSpec {
+    /// A cluster of `count` identical nodes.
+    pub fn homogeneous(node: NodeSpec, count: usize) -> Result<Self, PStoreError> {
+        Self::from_nodes(vec![node; count])
+    }
+
+    /// A mixed cluster of `beefy_count` Beefy nodes followed by `wimpy_count`
+    /// Wimpy nodes (the `bB,wW` designs of Section 5).
+    pub fn heterogeneous(
+        beefy: NodeSpec,
+        beefy_count: usize,
+        wimpy: NodeSpec,
+        wimpy_count: usize,
+    ) -> Result<Self, PStoreError> {
+        let mut nodes = vec![beefy; beefy_count];
+        nodes.extend(std::iter::repeat_n(wimpy, wimpy_count));
+        Self::from_nodes(nodes)
+    }
+
+    /// A cluster from an explicit node list. The fabric gives every node a
+    /// full-duplex port at its own NIC bandwidth over an unconstrained
+    /// switch.
+    pub fn from_nodes(nodes: Vec<NodeSpec>) -> Result<Self, PStoreError> {
+        if nodes.is_empty() {
+            return Err(PStoreError::planning("a cluster needs at least one node"));
+        }
+        let mut builder = Fabric::builder(nodes.len());
+        for (id, node) in nodes.iter().enumerate() {
+            builder = builder.port(id, node.network_bandwidth);
+        }
+        let fabric = builder.build()?;
+        Ok(Self { nodes, fabric })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true for a built spec).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node specs, in cluster node order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The interconnect fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Ids of the Beefy nodes.
+    pub fn beefy_ids(&self) -> Vec<NodeId> {
+        self.ids_of(NodeClass::Beefy)
+    }
+
+    /// Ids of the Wimpy nodes.
+    pub fn wimpy_ids(&self) -> Vec<NodeId> {
+        self.ids_of(NodeClass::Wimpy)
+    }
+
+    fn ids_of(&self, class: NodeClass) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.class == class)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Human-readable label in the paper's convention: `"8N"` for a uniform
+    /// cluster, `"2B,2W"` for a mixed one.
+    pub fn label(&self) -> String {
+        let beefy = self.beefy_ids().len();
+        let wimpy = self.wimpy_ids().len();
+        if beefy == 0 || wimpy == 0 {
+            format!("{}N", self.nodes.len())
+        } else {
+            format!("{beefy}B,{wimpy}W")
+        }
+    }
+}
+
+/// Tunables for loading and running a [`PStoreCluster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Scale factor of the data actually materialised in memory (relational
+    /// correctness). Keep this laptop-sized.
+    pub engine_scale: ScaleFactor,
+    /// Scale factor whose byte volumes drive the time / energy / memory
+    /// models (the paper's experiment scale).
+    pub nominal_scale: ScaleFactor,
+    /// Probe worker threads per node for the hash join.
+    pub threads: usize,
+    /// Fraction of node memory reserved for everything that is not the
+    /// build-side hash table (buffers, probe working set, OS).
+    pub hash_table_headroom: f64,
+    /// Hash-table bytes per qualifying build-side byte (table of pointers,
+    /// padding, load factor).
+    pub hash_table_expansion: f64,
+    /// Whether the tables are memory-resident, as in the paper's P-store
+    /// experiments (Section 4.2): scans then run at the CPU pipeline rate.
+    /// Set to `false` to model disk-resident data gated by the storage
+    /// bandwidth.
+    pub in_memory: bool,
+    /// Seed for the deterministic data generators.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            engine_scale: ScaleFactor(0.002),
+            nominal_scale: ScaleFactor::SF400,
+            threads: 2,
+            hash_table_headroom: 0.2,
+            hash_table_expansion: 2.0,
+            in_memory: true,
+            seed: 7,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Validate the option values.
+    fn validate(&self) -> Result<(), PStoreError> {
+        for (label, scale) in [
+            ("engine", self.engine_scale.value()),
+            ("nominal", self.nominal_scale.value()),
+        ] {
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(PStoreError::planning(format!(
+                    "{label} scale must be positive and finite, got {scale}"
+                )));
+            }
+        }
+        if !(0.0..1.0).contains(&self.hash_table_headroom) {
+            return Err(PStoreError::planning(
+                "hash table headroom must be in [0, 1)",
+            ));
+        }
+        if !(self.hash_table_expansion.is_finite() && self.hash_table_expansion >= 1.0) {
+            return Err(PStoreError::planning(
+                "hash table expansion must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A loaded cluster: hardware, interconnect, and the LINEITEM / ORDERS data
+/// in every physical layout the three join strategies need.
+///
+/// The *partition-incompatible* layout of the paper's Q3 experiments stores
+/// LINEITEM round-robin and ORDERS hash-partitioned on `O_CUSTKEY`, so a join
+/// on `ORDERKEY` must shuffle or broadcast. The *partition-compatible* layout
+/// co-partitions both tables on the join key (same hash, same node count), so
+/// the pre-partitioned baseline runs without any network traffic.
+#[derive(Debug, Clone)]
+pub struct PStoreCluster {
+    spec: ClusterSpec,
+    options: RunOptions,
+    /// Nominal-scale bytes per engine-scale byte.
+    scale_ratio: f64,
+    /// Full engine-scale tables, kept for the scalar reference join.
+    lineitem: Table,
+    orders: Table,
+    /// Partition-incompatible layout (shuffle / broadcast strategies).
+    probe_incompatible: Partitioned,
+    build_incompatible: Partitioned,
+    /// Co-partitioned layout (pre-partitioned baseline).
+    probe_copartitioned: Partitioned,
+    build_copartitioned: Partitioned,
+}
+
+impl PStoreCluster {
+    /// Generate engine-scale TPC-H data and lay it out across the cluster.
+    pub fn load(spec: ClusterSpec, options: RunOptions) -> Result<Self, PStoreError> {
+        options.validate()?;
+        let lineitem =
+            Table::from_lineitem(LineitemGenerator::new(options.engine_scale, options.seed));
+        let orders = Table::from_orders(OrdersGenerator::new(options.engine_scale, options.seed));
+        if lineitem.is_empty() || orders.is_empty() {
+            return Err(PStoreError::planning(
+                "engine scale too small: generated tables are empty",
+            ));
+        }
+        let n = spec.len();
+        let probe_incompatible = round_robin_partition(&lineitem, n)?;
+        let build_incompatible = hash_partition(&orders, "O_CUSTKEY", n)?;
+        let probe_copartitioned = hash_partition(&lineitem, "L_ORDERKEY", n)?;
+        let build_copartitioned = hash_partition(&orders, "O_ORDERKEY", n)?;
+        let scale_ratio = options.nominal_scale.value() / options.engine_scale.value();
+        Ok(Self {
+            spec,
+            options,
+            scale_ratio,
+            lineitem,
+            orders,
+            probe_incompatible,
+            build_incompatible,
+            probe_copartitioned,
+            build_copartitioned,
+        })
+    }
+
+    /// The cluster's hardware spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The options the cluster was loaded with.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Nominal-scale bytes modeled per engine-scale byte moved.
+    pub fn scale_ratio(&self) -> f64 {
+        self.scale_ratio
+    }
+
+    fn build_predicate(&self, query: &JoinQuerySpec) -> Predicate {
+        Predicate::orders_custkey_at_most(custkey_cutoff_for_selectivity(
+            self.options.engine_scale,
+            query.build_selectivity,
+        ))
+    }
+
+    fn probe_predicate(&self, query: &JoinQuerySpec) -> Predicate {
+        Predicate::lineitem_shipdate_below(date_cutoff_for_selectivity(query.probe_selectivity))
+    }
+
+    /// Join output cardinality of a scalar (single-table, single-node)
+    /// reference execution of the query — the ground truth every distributed
+    /// strategy must reproduce.
+    pub fn reference_join_rows(&self, query: &JoinQuerySpec) -> Result<usize, PStoreError> {
+        validate_query(query)?;
+        let build = scan(&self.orders, &self.build_predicate(query), None)?;
+        let probe = scan(&self.lineitem, &self.probe_predicate(query), None)?;
+        let joined = hash_join(
+            &probe.output,
+            "L_ORDERKEY",
+            &build.output,
+            "O_ORDERKEY",
+            self.options.threads,
+        )?;
+        Ok(joined.output_rows)
+    }
+
+    /// Execute one query under the given strategy.
+    pub fn run(
+        &self,
+        query: &JoinQuerySpec,
+        strategy: JoinStrategy,
+    ) -> Result<QueryExecution, PStoreError> {
+        self.run_batch(query, strategy, 1)
+    }
+
+    /// Execute a batch of `concurrency` identical queries that share the
+    /// interconnect and the node CPUs (the 1/2/4-query sweeps of Figures 3
+    /// and 4). The returned execution describes the whole batch: its
+    /// response time is the batch completion time, while `output_rows` stays
+    /// per-query.
+    pub fn run_batch(
+        &self,
+        query: &JoinQuerySpec,
+        strategy: JoinStrategy,
+        concurrency: usize,
+    ) -> Result<QueryExecution, PStoreError> {
+        validate_query(query)?;
+        if concurrency == 0 {
+            return Err(PStoreError::planning("concurrency must be at least 1"));
+        }
+        let n = self.spec.len();
+        let batch = concurrency as f64;
+
+        let (build_layout, probe_layout) = match strategy {
+            JoinStrategy::DualShuffle | JoinStrategy::Broadcast => {
+                (&self.build_incompatible, &self.probe_incompatible)
+            }
+            JoinStrategy::PrePartitioned => (&self.build_copartitioned, &self.probe_copartitioned),
+        };
+
+        // ---- Build phase: scan + filter ORDERS, move it, build hash tables.
+        let build_pred = self.build_predicate(query);
+        let mut build_scanned = Vec::with_capacity(n);
+        let mut filtered_build = Vec::with_capacity(n);
+        for fragment in &build_layout.fragments {
+            let result = scan(fragment, &build_pred, None)?;
+            build_scanned.push(result.bytes_scanned);
+            filtered_build.push(result.output);
+        }
+        let qualifying_build_nominal = Megabytes(
+            filtered_build
+                .iter()
+                .map(|t| t.byte_size().value())
+                .sum::<f64>()
+                * self.scale_ratio,
+        );
+
+        let (mode, destinations) =
+            self.select_mode(strategy, qualifying_build_nominal, concurrency)?;
+
+        let (build_received, build_flows) = match strategy {
+            JoinStrategy::DualShuffle => {
+                let ex = shuffle_exchange(&filtered_build, "O_ORDERKEY", &destinations, 0)?;
+                (ex.received, ex.flows)
+            }
+            JoinStrategy::Broadcast => {
+                let ex = broadcast_exchange(&filtered_build, &destinations, 0)?;
+                (ex.received, ex.flows)
+            }
+            JoinStrategy::PrePartitioned => (filtered_build, FlowSet::new()),
+        };
+
+        let build_phase = self.phase_stats(
+            "build",
+            &scale_volumes(&build_scanned, self.scale_ratio * batch),
+            &scale_volumes(&table_sizes(&build_received), self.scale_ratio * batch),
+            &self.batch_flows(&build_flows, concurrency),
+        )?;
+
+        // ---- Probe phase: scan + filter LINEITEM, move it, probe.
+        let probe_pred = self.probe_predicate(query);
+        let mut probe_scanned = Vec::with_capacity(n);
+        let mut filtered_probe = Vec::with_capacity(n);
+        for fragment in &probe_layout.fragments {
+            let result = scan(fragment, &probe_pred, None)?;
+            probe_scanned.push(result.bytes_scanned);
+            filtered_probe.push(result.output);
+        }
+
+        let (probe_received, probe_flows) = match (strategy, mode) {
+            (JoinStrategy::DualShuffle, _)
+            | (JoinStrategy::Broadcast, ExecutionMode::Heterogeneous) => {
+                let ex = shuffle_exchange(&filtered_probe, "L_ORDERKEY", &destinations, 0)?;
+                (ex.received, ex.flows)
+            }
+            (JoinStrategy::Broadcast, ExecutionMode::Homogeneous)
+            | (JoinStrategy::PrePartitioned, _) => (filtered_probe, FlowSet::new()),
+        };
+
+        let probe_phase = self.phase_stats(
+            "probe",
+            &scale_volumes(&probe_scanned, self.scale_ratio * batch),
+            &scale_volumes(&table_sizes(&probe_received), self.scale_ratio * batch),
+            &self.batch_flows(&probe_flows, concurrency),
+        )?;
+
+        // ---- Correctness: actually join on every node that holds data.
+        let mut output_rows = 0usize;
+        for node in 0..n {
+            let probe_table = &probe_received[node];
+            let build_table = &build_received[node];
+            if probe_table.is_empty() || build_table.is_empty() {
+                continue;
+            }
+            let joined = hash_join(
+                probe_table,
+                "L_ORDERKEY",
+                build_table,
+                "O_ORDERKEY",
+                self.options.threads,
+            )?;
+            output_rows += joined.output_rows;
+        }
+
+        Ok(QueryExecution {
+            cluster_label: self.spec.label(),
+            strategy,
+            mode,
+            concurrency,
+            phases: vec![build_phase, probe_phase],
+            output_rows,
+        })
+    }
+
+    /// Pick homogeneous vs heterogeneous execution from the build-side
+    /// hash-table footprint, as in Section 5.2: demote Wimpy nodes to
+    /// scan-and-filter producers only when the hash table does not fit their
+    /// memory.
+    fn select_mode(
+        &self,
+        strategy: JoinStrategy,
+        qualifying_build_nominal: Megabytes,
+        concurrency: usize,
+    ) -> Result<(ExecutionMode, Vec<NodeId>), PStoreError> {
+        let nodes = self.spec.nodes();
+        let all: Vec<NodeId> = (0..nodes.len()).collect();
+        // Concurrent queries each build their own table.
+        let total_ht =
+            qualifying_build_nominal * self.options.hash_table_expansion * concurrency as f64;
+        let per_destination = |destinations: &[NodeId]| match strategy {
+            // Broadcast puts the whole table on every destination.
+            JoinStrategy::Broadcast => total_ht,
+            // Shuffled / co-partitioned tables split across destinations.
+            JoinStrategy::DualShuffle | JoinStrategy::PrePartitioned => {
+                total_ht / destinations.len() as f64
+            }
+        };
+        let fits = |destinations: &[NodeId]| {
+            let ht = per_destination(destinations);
+            destinations
+                .iter()
+                .all(|&id| nodes[id].fits_hash_table(ht, self.options.hash_table_headroom))
+        };
+
+        if fits(&all) {
+            return Ok((ExecutionMode::Homogeneous, all));
+        }
+        if strategy == JoinStrategy::PrePartitioned {
+            return Err(PStoreError::planning(format!(
+                "hash table of {:.0} does not fit the cluster and pre-partitioned data cannot be re-routed",
+                per_destination(&all)
+            )));
+        }
+        let beefy = self.spec.beefy_ids();
+        if !beefy.is_empty() && beefy.len() < nodes.len() && fits(&beefy) {
+            return Ok((ExecutionMode::Heterogeneous, beefy));
+        }
+        Err(PStoreError::planning(format!(
+            "build-side hash table ({:.0} total) does not fit any execution mode on cluster {}",
+            total_ht,
+            self.spec.label()
+        )))
+    }
+
+    /// Replicate a per-query engine-scale flow set into `concurrency` groups
+    /// of nominal-scale flows. Local flows never touch the network and are
+    /// dropped.
+    fn batch_flows(&self, per_query: &FlowSet, concurrency: usize) -> FlowSet {
+        let mut set = FlowSet::new();
+        for group in 0..concurrency {
+            for flow in per_query.flows() {
+                if flow.is_local() {
+                    continue;
+                }
+                set.push(Flow::with_group(
+                    flow.source,
+                    flow.destination,
+                    flow.bytes * self.scale_ratio,
+                    group,
+                ));
+            }
+        }
+        set
+    }
+
+    /// Model one execution phase: scanning `scanned` bytes per node while
+    /// `flows` cross the fabric and `computed` bytes per node flow through
+    /// the build/probe CPU path. Scanning, transfer, and compute are
+    /// pipelined, so the phase lasts as long as its slowest component; node
+    /// utilization follows from the rate each node actually sustained.
+    fn phase_stats(
+        &self,
+        label: &str,
+        scanned: &[Megabytes],
+        computed: &[Megabytes],
+        flows: &FlowSet,
+    ) -> Result<PhaseStats, PStoreError> {
+        let nodes = self.spec.nodes();
+        let network_time = if flows.is_empty() {
+            Seconds::zero()
+        } else {
+            TransferSimulator::new(self.spec.fabric())
+                .run(flows)?
+                .total_time
+        };
+
+        let mut scan_time = Seconds::zero();
+        let mut compute_time = Seconds::zero();
+        for (id, node) in nodes.iter().enumerate() {
+            let scan_rate = if self.options.in_memory {
+                node.cpu_bandwidth
+            } else {
+                node.disk_bandwidth.min(node.cpu_bandwidth)
+            };
+            scan_time = scan_time.max(scanned[id] / scan_rate);
+            compute_time = compute_time.max(computed[id] / node.cpu_bandwidth);
+        }
+
+        let duration = network_time.max(scan_time).max(compute_time);
+        let bottleneck = if network_time >= scan_time && network_time >= compute_time {
+            Bottleneck::Network
+        } else if scan_time >= compute_time {
+            Bottleneck::Scan
+        } else {
+            Bottleneck::Compute
+        };
+
+        let mut energy = Joules::zero();
+        let mut node_utilization = Vec::with_capacity(nodes.len());
+        for (id, node) in nodes.iter().enumerate() {
+            let processed = scanned[id] + computed[id];
+            let rate = if duration.value() > f64::EPSILON {
+                processed / duration
+            } else {
+                MegabytesPerSec::zero()
+            };
+            let utilization = node.utilization_at_rate(rate);
+            node_utilization.push(utilization);
+            energy += node.power_at(utilization) * duration;
+        }
+
+        Ok(PhaseStats {
+            label: label.into(),
+            duration,
+            energy,
+            bytes_scanned: scanned.iter().copied().sum(),
+            bytes_over_network: flows.network_bytes(),
+            scan_time,
+            network_time,
+            compute_time,
+            bottleneck,
+            node_utilization,
+        })
+    }
+}
+
+fn validate_query(query: &JoinQuerySpec) -> Result<(), PStoreError> {
+    for (label, s) in [
+        ("build", query.build_selectivity),
+        ("probe", query.probe_selectivity),
+    ] {
+        if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+            return Err(PStoreError::planning(format!(
+                "{label} selectivity {s} outside (0, 1]"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn table_sizes(tables: &[Table]) -> Vec<Megabytes> {
+    tables.iter().map(Table::byte_size).collect()
+}
+
+fn scale_volumes(volumes: &[Megabytes], factor: f64) -> Vec<Megabytes> {
+    volumes.iter().map(|&v| v * factor).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_simkit::catalog::{cluster_v_node, laptop_b};
+    use eedc_simkit::units::Watts;
+
+    fn uniform_cluster(n: usize) -> PStoreCluster {
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), n).unwrap();
+        PStoreCluster::load(spec, RunOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn cluster_spec_labels_follow_paper_convention() {
+        let uniform = ClusterSpec::homogeneous(cluster_v_node(), 8).unwrap();
+        assert_eq!(uniform.label(), "8N");
+        assert_eq!(uniform.len(), 8);
+        let mixed = ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 6).unwrap();
+        assert_eq!(mixed.label(), "2B,6W");
+        assert_eq!(mixed.beefy_ids(), vec![0, 1]);
+        assert_eq!(mixed.wimpy_ids(), vec![2, 3, 4, 5, 6, 7]);
+        assert!(ClusterSpec::from_nodes(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn shuffle_join_moves_data_consumes_energy_and_matches_reference() {
+        // The acceptance experiment: a dual-shuffle join on four nodes must
+        // report nonzero network transfer time and nonzero joules in both
+        // phases, and its distributed output cardinality must equal the
+        // scalar reference join.
+        let cluster = uniform_cluster(4);
+        let query = JoinQuerySpec::q3_dual_shuffle();
+        let execution = cluster.run(&query, JoinStrategy::DualShuffle).unwrap();
+
+        assert_eq!(execution.phases.len(), 2);
+        for phase in &execution.phases {
+            assert!(
+                phase.network_time.value() > 0.0,
+                "{} phase network time is zero",
+                phase.label
+            );
+            assert!(
+                phase.energy.value() > 0.0,
+                "{} phase energy is zero",
+                phase.label
+            );
+            assert!(phase.bytes_over_network.value() > 0.0);
+            assert_eq!(phase.node_utilization.len(), 4);
+            // The paper's central observation: with memory-resident data the
+            // repartitioning join is gated by the interconnect.
+            assert_eq!(phase.bottleneck, Bottleneck::Network);
+        }
+        let reference = cluster.reference_join_rows(&query).unwrap();
+        assert!(reference > 0);
+        assert_eq!(execution.output_rows, reference);
+        assert_eq!(execution.mode, ExecutionMode::Homogeneous);
+        assert_eq!(execution.cluster_label, "4N");
+        assert!(execution.response_time().value() > 0.0);
+    }
+
+    #[test]
+    fn prepartitioned_join_never_touches_the_network() {
+        let cluster = uniform_cluster(4);
+        let query = JoinQuerySpec::q3_dual_shuffle();
+        let execution = cluster.run(&query, JoinStrategy::PrePartitioned).unwrap();
+        assert_eq!(execution.bytes_over_network(), Megabytes::zero());
+        for phase in &execution.phases {
+            assert_eq!(phase.network_time, Seconds::zero());
+            assert!(phase.energy.value() > 0.0);
+        }
+        assert_eq!(
+            execution.output_rows,
+            cluster.reference_join_rows(&query).unwrap()
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_on_cardinality() {
+        let cluster = uniform_cluster(3);
+        let query = JoinQuerySpec::new(0.10, 0.05);
+        let reference = cluster.reference_join_rows(&query).unwrap();
+        for strategy in JoinStrategy::ALL {
+            let execution = cluster.run(&query, strategy).unwrap();
+            assert_eq!(execution.output_rows, reference, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn oversized_hash_table_demotes_wimpy_nodes() {
+        // At SF-1000, a 50%-selectivity broadcast build side is a ~30 GB hash
+        // table: it fits the 48 GB Beefy nodes (with 20% headroom) but not
+        // the 8 GB Wimpy laptops, so execution must go heterogeneous.
+        let spec = ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 2).unwrap();
+        let options = RunOptions {
+            nominal_scale: ScaleFactor::SF1000,
+            ..RunOptions::default()
+        };
+        let cluster = PStoreCluster::load(spec, options).unwrap();
+        let query = JoinQuerySpec::new(0.5, 0.05);
+        let execution = cluster.run(&query, JoinStrategy::Broadcast).unwrap();
+        assert_eq!(execution.mode, ExecutionMode::Heterogeneous);
+        // Wimpy nodes still scanned, so the probe phase shuffles their
+        // qualifying tuples to the Beefy nodes.
+        let probe = execution.phase("probe").unwrap();
+        assert!(probe.network_time.value() > 0.0);
+        assert_eq!(
+            execution.output_rows,
+            cluster.reference_join_rows(&query).unwrap()
+        );
+        // The same query at the default small nominal scale is homogeneous.
+        let small = uniform_cluster(4)
+            .run(&query, JoinStrategy::Broadcast)
+            .unwrap();
+        assert_eq!(small.mode, ExecutionMode::Homogeneous);
+    }
+
+    #[test]
+    fn impossible_hash_tables_are_planning_errors() {
+        // An all-Wimpy cluster cannot hold a 30 GB broadcast hash table in
+        // any mode.
+        let spec = ClusterSpec::homogeneous(laptop_b(), 4).unwrap();
+        let options = RunOptions {
+            nominal_scale: ScaleFactor::SF1000,
+            ..RunOptions::default()
+        };
+        let cluster = PStoreCluster::load(spec, options).unwrap();
+        let query = JoinQuerySpec::new(0.5, 0.05);
+        let err = cluster.run(&query, JoinStrategy::Broadcast).unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn invalid_queries_and_options_are_rejected() {
+        let cluster = uniform_cluster(2);
+        assert!(cluster
+            .run(&JoinQuerySpec::new(0.0, 0.5), JoinStrategy::DualShuffle)
+            .is_err());
+        assert!(cluster
+            .run(&JoinQuerySpec::new(0.5, 1.5), JoinStrategy::DualShuffle)
+            .is_err());
+        assert!(cluster
+            .run_batch(
+                &JoinQuerySpec::q3_dual_shuffle(),
+                JoinStrategy::DualShuffle,
+                0
+            )
+            .is_err());
+
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), 2).unwrap();
+        let bad = RunOptions {
+            engine_scale: ScaleFactor(0.0),
+            ..RunOptions::default()
+        };
+        assert!(PStoreCluster::load(spec.clone(), bad).is_err());
+        let bad = RunOptions {
+            hash_table_headroom: 1.5,
+            ..RunOptions::default()
+        };
+        assert!(PStoreCluster::load(spec.clone(), bad).is_err());
+        let bad = RunOptions {
+            hash_table_expansion: 0.5,
+            ..RunOptions::default()
+        };
+        assert!(PStoreCluster::load(spec, bad).is_err());
+    }
+
+    #[test]
+    fn average_power_stays_within_the_node_envelope() {
+        let cluster = uniform_cluster(4);
+        let execution = cluster
+            .run(&JoinQuerySpec::q3_dual_shuffle(), JoinStrategy::DualShuffle)
+            .unwrap();
+        let node = cluster_v_node();
+        let peak_cluster: Watts = node.peak_power() * 4.0;
+        for phase in &execution.phases {
+            let power = phase.average_power();
+            assert!(power.value() > 0.0);
+            assert!(power.value() <= peak_cluster.value() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Concurrent join execution over the shared interconnect.
+//!
+//! Figures 3 and 4 of the paper run 1, 2, and 4 identical joins at the same
+//! time: the queries share every NIC port and the node CPUs, so a
+//! network-bound join's batch completion time grows roughly linearly with
+//! the concurrency level while per-query throughput stays flat — the
+//! signature of an interconnect-saturated cluster. This module wraps
+//! [`PStoreCluster::run_batch`] with the paper's sweep and the derived
+//! per-query metrics.
+
+use crate::cluster::PStoreCluster;
+use crate::error::PStoreError;
+use crate::plan::{JoinQuerySpec, JoinStrategy};
+use crate::stats::QueryExecution;
+use eedc_simkit::units::{Joules, Seconds};
+
+/// The concurrency levels of the paper's Figures 3 and 4.
+pub const PAPER_LEVELS: [usize; 3] = [1, 2, 4];
+
+/// Run `concurrency` identical queries at once. Equivalent to
+/// [`PStoreCluster::run_batch`]; provided so call sites read like the
+/// paper's experiment description.
+pub fn run_concurrent(
+    cluster: &PStoreCluster,
+    query: &JoinQuerySpec,
+    strategy: JoinStrategy,
+    concurrency: usize,
+) -> Result<QueryExecution, PStoreError> {
+    cluster.run_batch(query, strategy, concurrency)
+}
+
+/// One batch execution per requested concurrency level.
+#[derive(Debug, Clone)]
+pub struct ConcurrencySweep {
+    /// The batch executions, in the order the levels were requested.
+    pub executions: Vec<QueryExecution>,
+}
+
+impl ConcurrencySweep {
+    /// Run the same query at every concurrency level in `levels`.
+    pub fn run(
+        cluster: &PStoreCluster,
+        query: &JoinQuerySpec,
+        strategy: JoinStrategy,
+        levels: &[usize],
+    ) -> Result<Self, PStoreError> {
+        let executions = levels
+            .iter()
+            .map(|&level| cluster.run_batch(query, strategy, level))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { executions })
+    }
+
+    /// Run the paper's 1/2/4 sweep.
+    pub fn paper(
+        cluster: &PStoreCluster,
+        query: &JoinQuerySpec,
+        strategy: JoinStrategy,
+    ) -> Result<Self, PStoreError> {
+        Self::run(cluster, query, strategy, &PAPER_LEVELS)
+    }
+
+    /// Batch completion time at each level.
+    pub fn batch_times(&self) -> Vec<Seconds> {
+        self.executions
+            .iter()
+            .map(QueryExecution::response_time)
+            .collect()
+    }
+
+    /// Cluster energy divided by the number of queries in the batch — the
+    /// per-query energy cost at each level.
+    pub fn energy_per_query(&self) -> Vec<Joules> {
+        self.executions
+            .iter()
+            .map(|e| e.energy() / e.concurrency.max(1) as f64)
+            .collect()
+    }
+
+    /// Completed queries per second at each level.
+    pub fn throughput(&self) -> Vec<f64> {
+        self.executions
+            .iter()
+            .map(|e| {
+                let t = e.response_time().value();
+                if t <= f64::EPSILON {
+                    0.0
+                } else {
+                    e.concurrency as f64 / t
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterSpec, RunOptions};
+    use eedc_simkit::catalog::cluster_v_node;
+
+    fn cluster() -> PStoreCluster {
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap();
+        PStoreCluster::load(spec, RunOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn concurrent_shuffles_share_the_interconnect() {
+        // Figure 3: doubling the number of concurrent network-bound joins
+        // roughly doubles the batch completion time — the queries split the
+        // same ports, so no extra throughput materialises.
+        let cluster = cluster();
+        let query = JoinQuerySpec::q3_dual_shuffle();
+        let sweep = ConcurrencySweep::paper(&cluster, &query, JoinStrategy::DualShuffle).unwrap();
+        let times = sweep.batch_times();
+        assert_eq!(times.len(), 3);
+        assert!(times[1] > times[0]);
+        assert!(times[2] > times[1]);
+        // No super-linear slowdown either: 4 queries take at most ~4x one.
+        assert!(times[2].value() <= times[0].value() * 4.0 + 1e-6);
+
+        // Throughput stays roughly flat across the sweep.
+        let throughput = sweep.throughput();
+        let ratio = throughput[2] / throughput[0];
+        assert!((0.8..=1.3).contains(&ratio), "throughput ratio {ratio}");
+    }
+
+    #[test]
+    fn batches_preserve_per_query_cardinality() {
+        let cluster = cluster();
+        let query = JoinQuerySpec::q3_dual_shuffle();
+        let reference = cluster.reference_join_rows(&query).unwrap();
+        for level in PAPER_LEVELS {
+            let execution =
+                run_concurrent(&cluster, &query, JoinStrategy::DualShuffle, level).unwrap();
+            assert_eq!(execution.concurrency, level);
+            assert_eq!(execution.output_rows, reference, "level {level}");
+        }
+    }
+
+    #[test]
+    fn per_query_energy_is_reported_per_level() {
+        let cluster = cluster();
+        let sweep = ConcurrencySweep::paper(
+            &cluster,
+            &JoinQuerySpec::q3_dual_shuffle(),
+            JoinStrategy::DualShuffle,
+        )
+        .unwrap();
+        for energy in sweep.energy_per_query() {
+            assert!(energy.value() > 0.0);
+        }
+        // Total batch energy grows with concurrency.
+        let totals: Vec<f64> = sweep
+            .executions
+            .iter()
+            .map(|e| e.energy().value())
+            .collect();
+        assert!(totals[1] > totals[0]);
+        assert!(totals[2] > totals[1]);
+    }
+}

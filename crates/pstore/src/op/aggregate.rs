@@ -130,15 +130,13 @@ pub fn aggregate(
             .entry(key)
             .or_insert_with(|| vec![Accumulator::default(); aggregates.len()]);
         for (accumulator, column) in accumulators.iter_mut().zip(&agg_cols) {
-            let value = column
-                .get(row)
-                .expect("row index is in range")
-                .as_f64();
+            let value = column.get(row).expect("row index is in range").as_f64();
             accumulator.update(value);
         }
     }
 
-    let mut schema_columns: Vec<(String, ColumnType)> = vec![(group_by.to_string(), ColumnType::Int64)];
+    let mut schema_columns: Vec<(String, ColumnType)> =
+        vec![(group_by.to_string(), ColumnType::Int64)];
     schema_columns.extend(
         aggregates
             .iter()
@@ -174,10 +172,7 @@ mod tests {
     fn small_table() -> Table {
         let mut t = Table::empty(
             "T",
-            Schema::new([
-                ("K", ColumnType::Int64),
-                ("V", ColumnType::Int32),
-            ]),
+            Schema::new([("K", ColumnType::Int64), ("V", ColumnType::Int32)]),
         );
         for (k, v) in [(1, 10), (1, 20), (2, 5), (2, 15), (2, 40), (3, 7)] {
             t.append_row(&[Value::Int64(k), Value::Int32(v)]).unwrap();
@@ -243,7 +238,10 @@ mod tests {
         assert!(result.groups > 100);
         assert_eq!(result.input_rows, table.row_count());
         // Total count across groups equals the input row count.
-        let counts = result.output.column_by_name("COUNT(L_EXTENDEDPRICE)").unwrap();
+        let counts = result
+            .output
+            .column_by_name("COUNT(L_EXTENDEDPRICE)")
+            .unwrap();
         let total: f64 = (0..result.groups)
             .map(|i| counts.get(i).unwrap().as_f64())
             .sum();
@@ -252,7 +250,10 @@ mod tests {
 
     #[test]
     fn empty_input_produces_no_groups() {
-        let empty = Table::empty("E", Schema::new([("K", ColumnType::Int64), ("V", ColumnType::Int32)]));
+        let empty = Table::empty(
+            "E",
+            Schema::new([("K", ColumnType::Int64), ("V", ColumnType::Int32)]),
+        );
         let result = aggregate(&empty, "K", &[AggregateSpec::new("V", AggregateFn::Sum)]).unwrap();
         assert_eq!(result.groups, 0);
         assert_eq!(result.output.row_count(), 0);

@@ -74,13 +74,13 @@ pub fn hash_join(
     // Each worker probes an independent row range and produces its own output
     // fragment; fragments are concatenated afterwards.
     let probe_fragment = |range: std::ops::Range<usize>| -> Result<Table, PStoreError> {
-        let mut fragment = Table::with_capacity("join_fragment", output_schema.clone(), range.len());
+        let mut fragment =
+            Table::with_capacity("join_fragment", output_schema.clone(), range.len());
         for probe_row in range {
             let key = key_at(probe_key_col, probe_row)?;
             if let Some(matches) = hash_table.get(&key) {
-                let probe_values: Vec<Value> = probe
-                    .row(probe_row)
-                    .expect("probe row index in range");
+                let probe_values: Vec<Value> =
+                    probe.row(probe_row).expect("probe row index in range");
                 for &build_row in matches {
                     let mut values = probe_values.clone();
                     values.extend(
@@ -104,18 +104,17 @@ pub fn hash_join(
             .collect();
         let mut results: Vec<Option<Result<Table, PStoreError>>> =
             (0..ranges.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
             for range in &ranges {
                 let range = range.clone();
                 let probe_fragment = &probe_fragment;
-                handles.push(scope.spawn(move |_| probe_fragment(range)));
+                handles.push(scope.spawn(move || probe_fragment(range)));
             }
             for (slot, handle) in results.iter_mut().zip(handles) {
                 *slot = Some(handle.join().expect("probe worker must not panic"));
             }
-        })
-        .expect("crossbeam scope must not panic");
+        });
         results
             .into_iter()
             .map(|r| r.expect("every worker produced a result"))
@@ -178,7 +177,10 @@ mod tests {
         let l_keys = joined.output.column_by_name("L_ORDERKEY").unwrap();
         let o_keys = joined.output.column_by_name("O_ORDERKEY").unwrap();
         for i in 0..joined.output_rows {
-            assert_eq!(l_keys.get(i).unwrap().as_i64(), o_keys.get(i).unwrap().as_i64());
+            assert_eq!(
+                l_keys.get(i).unwrap().as_i64(),
+                o_keys.get(i).unwrap().as_i64()
+            );
         }
     }
 
@@ -194,8 +196,18 @@ mod tests {
             let mut sig: Vec<(i64, i64)> = (0..t.row_count())
                 .map(|i| {
                     (
-                        t.column_by_name("L_ORDERKEY").unwrap().get(i).unwrap().as_i64().unwrap(),
-                        t.column_by_name("L_EXTENDEDPRICE").unwrap().get(i).unwrap().as_i64().unwrap(),
+                        t.column_by_name("L_ORDERKEY")
+                            .unwrap()
+                            .get(i)
+                            .unwrap()
+                            .as_i64()
+                            .unwrap(),
+                        t.column_by_name("L_EXTENDEDPRICE")
+                            .unwrap()
+                            .get(i)
+                            .unwrap()
+                            .as_i64()
+                            .unwrap(),
                     )
                 })
                 .collect();
@@ -212,16 +224,15 @@ mod tests {
         let li = lineitem();
         let ord = orders();
         let cutoff = eedc_tpch::gen::custkey_cutoff_for_selectivity(SCALE, 0.01);
-        let filtered = eedc_storage::scan(
-            &ord,
-            &Predicate::orders_custkey_at_most(cutoff),
-            None,
-        )
-        .unwrap();
+        let filtered =
+            eedc_storage::scan(&ord, &Predicate::orders_custkey_at_most(cutoff), None).unwrap();
         let joined = hash_join(&li, "L_ORDERKEY", &filtered.output, "O_ORDERKEY", 2).unwrap();
         let ratio = joined.output_rows as f64 / li.row_count() as f64;
         let build_ratio = filtered.rows_passed as f64 / ord.row_count() as f64;
-        assert!((ratio - build_ratio).abs() < 0.02, "ratio {ratio} vs {build_ratio}");
+        assert!(
+            (ratio - build_ratio).abs() < 0.02,
+            "ratio {ratio} vs {build_ratio}"
+        );
     }
 
     #[test]
@@ -241,9 +252,15 @@ mod tests {
             "B",
             Schema::new([("B_KEY", ColumnType::Int64), ("B_VAL", ColumnType::Int32)]),
         );
-        build.append_row(&[Value::Int64(1), Value::Int32(10)]).unwrap();
-        build.append_row(&[Value::Int64(1), Value::Int32(11)]).unwrap();
-        build.append_row(&[Value::Int64(2), Value::Int32(20)]).unwrap();
+        build
+            .append_row(&[Value::Int64(1), Value::Int32(10)])
+            .unwrap();
+        build
+            .append_row(&[Value::Int64(1), Value::Int32(11)])
+            .unwrap();
+        build
+            .append_row(&[Value::Int64(2), Value::Int32(20)])
+            .unwrap();
         let mut probe = Table::empty("P", Schema::new([("P_KEY", ColumnType::Int64)]));
         probe.append_row(&[Value::Int64(1)]).unwrap();
         probe.append_row(&[Value::Int64(2)]).unwrap();

@@ -148,8 +148,12 @@ mod tests {
     #[test]
     fn totals_accumulate_across_phases() {
         let mut meter = EnergyMeter::new();
-        meter.record("build", Seconds(10.0), Joules(2000.0)).unwrap();
-        meter.record("probe", Seconds(30.0), Joules(5000.0)).unwrap();
+        meter
+            .record("build", Seconds(10.0), Joules(2000.0))
+            .unwrap();
+        meter
+            .record("probe", Seconds(30.0), Joules(5000.0))
+            .unwrap();
         assert_eq!(meter.total_time(), Seconds(40.0));
         assert_eq!(meter.total_energy(), Joules(7000.0));
         assert!((meter.average_power().value() - 175.0).abs() < 1e-9);

@@ -79,7 +79,12 @@ impl Measurement {
 
 impl fmt::Display for Measurement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} s / {:.1} J", self.response_time.value(), self.energy.value())
+        write!(
+            f,
+            "{:.2} s / {:.1} J",
+            self.response_time.value(),
+            self.energy.value()
+        )
     }
 }
 
@@ -266,10 +271,7 @@ impl NormalizedSeries {
     /// Among points whose performance is at least `min_performance`, the one
     /// with the lowest energy — the paper's "pick the most efficient design
     /// that still meets the performance target" selection rule (Section 6).
-    pub fn best_meeting_target(
-        &self,
-        min_performance: f64,
-    ) -> Option<&(String, NormalizedPoint)> {
+    pub fn best_meeting_target(&self, min_performance: f64) -> Option<&(String, NormalizedPoint)> {
         self.points
             .iter()
             .filter(|(_, p)| p.performance + EDP_EPSILON >= min_performance)

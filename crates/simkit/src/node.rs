@@ -360,9 +360,7 @@ mod tests {
         let n = wimpy();
         let mut prev = n.power_at_rate(MegabytesPerSec(0.0)).value();
         for i in 1..=10 {
-            let cur = n
-                .power_at_rate(MegabytesPerSec(i as f64 * 112.9))
-                .value();
+            let cur = n.power_at_rate(MegabytesPerSec(i as f64 * 112.9)).value();
             assert!(cur + 1e-9 >= prev);
             prev = cur;
         }

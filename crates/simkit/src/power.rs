@@ -183,7 +183,10 @@ fn validate_samples(samples: &[PowerSample], need_positive_power: bool) -> Resul
         }
     }
     let first = samples[0].utilization;
-    if samples.iter().all(|s| (s.utilization - first).abs() < 1e-12) {
+    if samples
+        .iter()
+        .all(|s| (s.utilization - first).abs() < 1e-12)
+    {
         return Err(SimError::fit("all samples share the same utilization"));
     }
     Ok(())
@@ -471,8 +474,8 @@ mod tests {
         // The selected model must reproduce the truth closely at every point.
         for i in 1..=20 {
             let u = i as f64 / 20.0;
-            let err =
-                (best.model.power_at(u).value() - truth.power_at(u).value()).abs() / truth.power_at(u).value();
+            let err = (best.model.power_at(u).value() - truth.power_at(u).value()).abs()
+                / truth.power_at(u).value();
             assert!(err < 0.02, "relative error {err} at u={u}");
         }
     }

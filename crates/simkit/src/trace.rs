@@ -158,8 +158,7 @@ mod tests {
         let mut trace = UtilizationTrace::new();
         trace.push(Seconds(5.0), 1.0).unwrap();
         trace.push(Seconds(5.0), 0.25).unwrap();
-        let expected =
-            beefy().power_at(1.0) * Seconds(5.0) + beefy().power_at(0.25) * Seconds(5.0);
+        let expected = beefy().power_at(1.0) * Seconds(5.0) + beefy().power_at(0.25) * Seconds(5.0);
         let got = trace.energy_with(&beefy());
         assert!((got.value() - expected.value()).abs() < 1e-9);
         // Average utilization is the time-weighted mean.

@@ -92,7 +92,10 @@ macro_rules! unit {
 
         impl Sum for $name {
             fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
-                Self(iter.map(|v| v.0).sum())
+                // Fold from +0.0: std's `Sum<f64>` starts at -0.0, which
+                // leaks a "-0" into reports for empty sums (e.g. the network
+                // bytes of a fully local transfer).
+                Self(iter.map(|v| v.0).fold(0.0, |acc, v| acc + v))
             }
         }
 
@@ -249,6 +252,8 @@ mod tests {
     fn unit_arithmetic_and_sum() {
         let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.0)].into_iter().sum();
         assert_eq!(total, Joules(6.0));
+        let empty: Joules = std::iter::empty().sum();
+        assert!(empty.value().is_sign_positive(), "empty sum must be +0.0");
         assert_eq!(Seconds(3.0) + Seconds(2.0), Seconds(5.0));
         assert_eq!(Seconds(3.0) - Seconds(2.0), Seconds(1.0));
         assert_eq!(Seconds(3.0) * 2.0, Seconds(6.0));

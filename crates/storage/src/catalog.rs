@@ -8,7 +8,9 @@
 //! tables are replicated everywhere.
 
 use crate::error::StorageError;
-use crate::partition::{hash_partition, replicate, round_robin_partition, PartitionSpec, Partitioned};
+use crate::partition::{
+    hash_partition, replicate, round_robin_partition, PartitionSpec, Partitioned,
+};
 use crate::table::Table;
 use eedc_simkit::units::Megabytes;
 use serde::{Deserialize, Serialize};

@@ -179,9 +179,9 @@ impl Column {
     /// Append the value at `index` of `source` (which must have the same
     /// type).
     pub fn push_from(&mut self, source: &Column, index: usize) -> Result<(), StorageError> {
-        let value = source.get(index).ok_or_else(|| {
-            StorageError::invalid(format!("row index {index} out of bounds"))
-        })?;
+        let value = source
+            .get(index)
+            .ok_or_else(|| StorageError::invalid(format!("row index {index} out of bounds")))?;
         self.push(value)
     }
 

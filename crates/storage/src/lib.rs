@@ -36,7 +36,9 @@ pub use block::{Block, BlockIter, DEFAULT_BLOCK_ROWS};
 pub use catalog::{ClusterCatalog, NodeCatalog};
 pub use column::{Column, ColumnType, Value};
 pub use error::StorageError;
-pub use partition::{hash_of_value, hash_partition, PartitionSpec, Partitioned};
+pub use partition::{
+    hash_of_value, hash_partition, replicate, round_robin_partition, PartitionSpec, Partitioned,
+};
 pub use predicate::{CmpOp, Predicate};
 pub use scan::{scan, ScanResult};
 pub use table::{Schema, Table};

@@ -106,9 +106,7 @@ impl Predicate {
                 })?;
                 Ok(op.matches(cell.compare(value)))
             }
-            Predicate::And(a, b) => {
-                Ok(a.matches_row(table, row)? && b.matches_row(table, row)?)
-            }
+            Predicate::And(a, b) => Ok(a.matches_row(table, row)? && b.matches_row(table, row)?),
             Predicate::Or(a, b) => Ok(a.matches_row(table, row)? || b.matches_row(table, row)?),
         }
     }
@@ -206,7 +204,8 @@ mod tests {
                 (observed - target).abs() < 0.02,
                 "lineitem target {target} observed {observed}"
             );
-            let p = Predicate::orders_custkey_at_most(custkey_cutoff_for_selectivity(SCALE, target));
+            let p =
+                Predicate::orders_custkey_at_most(custkey_cutoff_for_selectivity(SCALE, target));
             let observed = p.selectivity(&orders).unwrap();
             assert!(
                 (observed - target).abs() < 0.03,
@@ -222,13 +221,7 @@ mod tests {
         let b = Predicate::compare("O_ORDERKEY", CmpOp::Gt, Value::Int64(50));
         let and = a.clone().and(b.clone());
         let or = a.clone().or(b.clone());
-        let count = |p: &Predicate| {
-            p.evaluate(&orders)
-                .unwrap()
-                .iter()
-                .filter(|&&x| x)
-                .count()
-        };
+        let count = |p: &Predicate| p.evaluate(&orders).unwrap().iter().filter(|&&x| x).count();
         assert_eq!(count(&and), 50);
         assert_eq!(count(&or), orders.row_count());
         assert_eq!(count(&Predicate::True), orders.row_count());

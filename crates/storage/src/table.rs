@@ -80,10 +80,12 @@ impl Schema {
     pub fn project(&self, names: &[&str]) -> Result<Schema, StorageError> {
         let mut columns = Vec::with_capacity(names.len());
         for &name in names {
-            let ty = self.type_of(name).ok_or_else(|| StorageError::UnknownColumn {
-                column: name.into(),
-                table: "<schema>".into(),
-            })?;
+            let ty = self
+                .type_of(name)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    column: name.into(),
+                    table: "<schema>".into(),
+                })?;
             columns.push((name.to_string(), ty));
         }
         Ok(Schema { columns })
@@ -328,7 +330,10 @@ mod tests {
 
     #[test]
     fn append_and_read_rows() {
-        let mut table = Table::empty("T", Schema::new([("A", ColumnType::Int64), ("B", ColumnType::Int32)]));
+        let mut table = Table::empty(
+            "T",
+            Schema::new([("A", ColumnType::Int64), ("B", ColumnType::Int32)]),
+        );
         table
             .append_row(&[Value::Int64(1), Value::Int32(10)])
             .unwrap();
@@ -338,12 +343,16 @@ mod tests {
         assert_eq!(table.row_count(), 2);
         assert_eq!(table.row(1), Some(vec![Value::Int64(2), Value::Int32(20)]));
         assert_eq!(table.row(2), None);
-        assert!(table
-            .append_row(&[Value::Int64(3)])
-            .is_err(), "wrong arity must fail");
-        assert!(table
-            .append_row(&[Value::Int32(3), Value::Int32(1)])
-            .is_err(), "wrong type must fail");
+        assert!(
+            table.append_row(&[Value::Int64(3)]).is_err(),
+            "wrong arity must fail"
+        );
+        assert!(
+            table
+                .append_row(&[Value::Int32(3), Value::Int32(1)])
+                .is_err(),
+            "wrong type must fail"
+        );
     }
 
     #[test]

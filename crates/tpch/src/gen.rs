@@ -264,7 +264,10 @@ mod tests {
     fn cutoffs_are_clamped() {
         assert_eq!(date_cutoff_for_selectivity(-1.0), 0);
         assert_eq!(date_cutoff_for_selectivity(2.0), DATE_DOMAIN_DAYS);
-        assert_eq!(custkey_cutoff_for_selectivity(ScaleFactor(1.0), 2.0), 150_000);
+        assert_eq!(
+            custkey_cutoff_for_selectivity(ScaleFactor(1.0), 2.0),
+            150_000
+        );
     }
 
     #[test]

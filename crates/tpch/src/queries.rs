@@ -130,12 +130,7 @@ impl QueryProfile {
 
     /// A custom profile for what-if studies. Fractions are normalised to sum
     /// to one (zero-total inputs become a fully local profile).
-    pub fn custom(
-        query: QueryId,
-        local: f64,
-        repartition: f64,
-        broadcast: f64,
-    ) -> Self {
+    pub fn custom(query: QueryId, local: f64, repartition: f64, broadcast: f64) -> Self {
         let local = local.max(0.0);
         let repartition = repartition.max(0.0);
         let broadcast = broadcast.max(0.0);
@@ -180,9 +175,8 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         for profile in QueryProfile::all_paper_profiles() {
-            let total = profile.local_fraction
-                + profile.repartition_fraction
-                + profile.broadcast_fraction;
+            let total =
+                profile.local_fraction + profile.repartition_fraction + profile.broadcast_fraction;
             assert!((total - 1.0).abs() < 1e-9, "{:?}", profile.query);
         }
     }

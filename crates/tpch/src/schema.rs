@@ -88,20 +88,12 @@ pub fn projected_tuple_bytes(table: TpchTable) -> u32 {
 
 /// Columns of the LINEITEM projection used throughout the paper's
 /// experiments.
-pub const LINEITEM_PROJECTION: [&str; 4] = [
-    "L_ORDERKEY",
-    "L_EXTENDEDPRICE",
-    "L_DISCOUNT",
-    "L_SHIPDATE",
-];
+pub const LINEITEM_PROJECTION: [&str; 4] =
+    ["L_ORDERKEY", "L_EXTENDEDPRICE", "L_DISCOUNT", "L_SHIPDATE"];
 
 /// Columns of the ORDERS projection used throughout the paper's experiments.
-pub const ORDERS_PROJECTION: [&str; 4] = [
-    "O_ORDERKEY",
-    "O_ORDERDATE",
-    "O_SHIPPRIORITY",
-    "O_CUSTKEY",
-];
+pub const ORDERS_PROJECTION: [&str; 4] =
+    ["O_ORDERKEY", "O_ORDERDATE", "O_SHIPPRIORITY", "O_CUSTKEY"];
 
 #[cfg(test)]
 mod tests {

@@ -29,6 +29,9 @@ pub struct ZipfKeys {
     rng: SmallRng,
 }
 
+// Referenced only through the `#[serde(default = ...)]` field attribute, so
+// the vendored no-op derive leaves it looking unused.
+#[allow(dead_code)]
 fn default_rng() -> SmallRng {
     SmallRng::seed_from_u64(0)
 }
@@ -185,7 +188,10 @@ mod tests {
         let uniform = ZipfKeys::new(10_000, 0.0, 1).max_partition_fraction(8);
         let skewed = ZipfKeys::new(10_000, 1.0, 1).max_partition_fraction(8);
         assert!((uniform - 0.125).abs() < 0.01, "uniform {uniform}");
-        assert!(skewed > uniform * 1.5, "skewed {skewed} vs uniform {uniform}");
+        assert!(
+            skewed > uniform * 1.5,
+            "skewed {skewed} vs uniform {uniform}"
+        );
         // Degenerate partition count.
         assert_eq!(ZipfKeys::new(10, 0.5, 1).max_partition_fraction(0), 1.0);
     }

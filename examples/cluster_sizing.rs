@@ -1,1 +1,35 @@
-fn main() {}
+//! Homogeneous cluster sizing (the Figure 1(a) shape): shrink a Cluster-V
+//! cluster and plot each size as a normalized (performance, energy) point
+//! against the largest configuration.
+
+use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::simkit::catalog::cluster_v_node;
+use eedc::simkit::metrics::NormalizedSeries;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    let sizes = [16usize, 12, 8, 4];
+
+    let mut measurements = Vec::new();
+    for &nodes in &sizes {
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), nodes)?;
+        let cluster = PStoreCluster::load(spec, RunOptions::default())?;
+        let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
+        measurements.push((execution.cluster_label.clone(), execution.measurement()));
+    }
+
+    let reference = measurements[0].1;
+    let series = NormalizedSeries::from_measurements(
+        measurements[0].0.clone(),
+        reference,
+        measurements[1..].iter().cloned(),
+    )?;
+    println!(
+        "normalized against {} ({reference})",
+        series.reference_label
+    );
+    for (label, point) in series.points() {
+        println!("  {label:>4}: {point}");
+    }
+    Ok(())
+}

@@ -1,1 +1,36 @@
-fn main() {}
+//! Design-advisor sketch (Section 6): among a family of cluster designs,
+//! pick the most energy-efficient one that still meets a performance target.
+//! The full analytical advisor lives in `eedc-core` (open item); this
+//! example drives the selection rule with measured runtime points.
+
+use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::simkit::catalog::cluster_v_node;
+use eedc::simkit::metrics::NormalizedSeries;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    let mut measurements = Vec::new();
+    for nodes in [16usize, 12, 10, 8, 6, 4] {
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), nodes)?;
+        let cluster = PStoreCluster::load(spec, RunOptions::default())?;
+        let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
+        measurements.push((execution.cluster_label.clone(), execution.measurement()));
+    }
+
+    let reference = measurements[0].1;
+    let series = NormalizedSeries::from_measurements(
+        measurements[0].0.clone(),
+        reference,
+        measurements[1..].iter().cloned(),
+    )?;
+
+    for target in [0.9, 0.75, 0.5] {
+        match series.best_meeting_target(target) {
+            Some((label, point)) => {
+                println!("target perf >= {target:.2}: pick {label} ({point})")
+            }
+            None => println!("target perf >= {target:.2}: no design qualifies"),
+        }
+    }
+    Ok(())
+}

@@ -1,1 +1,58 @@
-fn main() {}
+//! Quickstart: generate a small TPC-H join, run it through `PStoreCluster`
+//! with a dual-shuffle plan, and print response time, energy, and EDP.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::simkit::catalog::cluster_v_node;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight Cluster-V nodes on a gigabit switch, loaded with deterministic
+    // engine-scale TPC-H data; time and energy are modeled at SF-400.
+    let spec = ClusterSpec::homogeneous(cluster_v_node(), 8)?;
+    let options = RunOptions::default();
+    let cluster = PStoreCluster::load(spec, options)?;
+
+    // The paper's Q3-style join: 5% predicates on both ORDERS and LINEITEM,
+    // executed with the dual-shuffle repartitioning plan of Section 4.3.1.
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
+
+    println!(
+        "{} join ({}) on {} [{} execution]",
+        execution.strategy,
+        query.label(),
+        execution.cluster_label,
+        execution.mode,
+    );
+    for phase in &execution.phases {
+        println!(
+            "  {:>5}: {:.2} s ({} bound; scan {:.2} s, network {:.2} s, compute {:.2} s), \
+             {:.1} kJ, {:.0} MB over network",
+            phase.label,
+            phase.duration.value(),
+            phase.bottleneck,
+            phase.scan_time.value(),
+            phase.network_time.value(),
+            phase.compute_time.value(),
+            phase.energy.as_kilojoules(),
+            phase.bytes_over_network.value(),
+        );
+    }
+
+    let measurement = execution.measurement();
+    println!("response time: {:.2} s", measurement.response_time.value());
+    println!(
+        "energy:        {:.1} kJ",
+        measurement.energy.as_kilojoules()
+    );
+    println!("EDP:           {:.0} J*s", measurement.edp());
+    println!(
+        "output rows:   {} (scalar reference: {})",
+        execution.output_rows,
+        cluster.reference_join_rows(&query)?,
+    );
+    Ok(())
+}

@@ -1,1 +1,21 @@
-fn main() {}
+//! Data-skew study (the Section 4.1 "third bottleneck"): how Zipf-skewed
+//! join keys unbalance hash partitioning across the cluster nodes.
+
+use eedc::tpch::ZipfKeys;
+
+fn main() {
+    let partitions = 8;
+    let domain = 100_000u64;
+    println!(
+        "hottest-partition load fraction over {partitions} partitions (uniform = {:.3})",
+        1.0 / partitions as f64
+    );
+    for theta in [0.0, 0.5, 0.8, 1.0, 1.2] {
+        let keys = ZipfKeys::new(domain, theta, 1);
+        let fraction = keys.max_partition_fraction(partitions);
+        println!(
+            "  theta {theta:>3.1}: {fraction:.3} ({:.1}x the balanced share)",
+            fraction * partitions as f64
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes the two trait names and the derive macros the workspace imports
+//! (`use serde::{Deserialize, Serialize};`). The derives are no-ops (see
+//! `vendor/serde_derive`), and the traits carry no methods; they exist so
+//! that code written against real serde compiles unchanged while the build
+//! environment has no registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors this minimal proc-macro crate. The derives accept the
+//! same surface syntax as the real ones — including `#[serde(...)]` helper
+//! attributes — but expand to nothing: no `Serialize`/`Deserialize` impls are
+//! generated, which is fine because nothing in the workspace serializes yet.
+//! Swapping the workspace `serde` dependency back to the real crate requires
+//! no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
