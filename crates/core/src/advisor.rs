@@ -1,0 +1,348 @@
+//! The Section 6 design-space advisor.
+//!
+//! The paper's selection rule: enumerate every `(b Beefy, w Wimpy)` cluster
+//! design, predict each one's response time and energy with the Section 5.4
+//! analytical model, normalize the predictions against the all-Beefy
+//! reference design, and pick the design with the lowest energy among those
+//! that still meet a performance floor ("the most energy-efficient
+//! configuration that satisfies the performance target").
+//!
+//! Designs whose build-side hash table fits no execution mode are reported as
+//! *infeasible* rather than silently dropped, so a sweep over a large grid
+//! still accounts for every point.
+
+use crate::error::CoreError;
+use crate::model::{AnalyticalModel, ModelPrediction};
+use eedc_pstore::stats::ExecutionMode;
+use eedc_pstore::{ClusterSpec, JoinStrategy};
+use eedc_simkit::metrics::{NormalizedPoint, NormalizedSeries};
+use eedc_simkit::NodeSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `(b, w)` grid of candidate cluster designs built from one Beefy and
+/// one Wimpy node type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    beefy: NodeSpec,
+    wimpy: NodeSpec,
+    max_beefy: usize,
+    max_wimpy: usize,
+}
+
+impl DesignSpace {
+    /// A design space of every `(b, w)` combination with `b ≤ max_beefy`,
+    /// `w ≤ max_wimpy`, and at least one node. `max_beefy` must be at least 1
+    /// because the all-Beefy `(max_beefy, 0)` design is the normalization
+    /// reference.
+    pub fn new(
+        beefy: NodeSpec,
+        wimpy: NodeSpec,
+        max_beefy: usize,
+        max_wimpy: usize,
+    ) -> Result<Self, CoreError> {
+        if !beefy.is_beefy() {
+            return Err(CoreError::invalid(format!(
+                "design-space Beefy node '{}' is classed {}",
+                beefy.name, beefy.class
+            )));
+        }
+        if !wimpy.is_wimpy() {
+            return Err(CoreError::invalid(format!(
+                "design-space Wimpy node '{}' is classed {}",
+                wimpy.name, wimpy.class
+            )));
+        }
+        if max_beefy == 0 {
+            return Err(CoreError::invalid(
+                "the design space needs at least one Beefy node: the all-Beefy design is the reference",
+            ));
+        }
+        Ok(Self {
+            beefy,
+            wimpy,
+            max_beefy,
+            max_wimpy,
+        })
+    }
+
+    /// Number of designs in the grid (every `(b, w)` except `(0, 0)`).
+    pub fn len(&self) -> usize {
+        (self.max_beefy + 1) * (self.max_wimpy + 1) - 1
+    }
+
+    /// Whether the grid is empty (never true for a constructed space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The reference design: all Beefy nodes, no Wimpy nodes.
+    pub fn reference(&self) -> Result<ClusterSpec, CoreError> {
+        Ok(ClusterSpec::homogeneous(
+            self.beefy.clone(),
+            self.max_beefy,
+        )?)
+    }
+
+    /// Every design in the grid, row by row (`b` outer, `w` inner), the
+    /// reference first.
+    pub fn designs(&self) -> Result<Vec<ClusterSpec>, CoreError> {
+        let mut designs = vec![self.reference()?];
+        for b in (0..=self.max_beefy).rev() {
+            for w in 0..=self.max_wimpy {
+                if b + w == 0 || (b == self.max_beefy && w == 0) {
+                    continue;
+                }
+                designs.push(ClusterSpec::heterogeneous(
+                    self.beefy.clone(),
+                    b,
+                    self.wimpy.clone(),
+                    w,
+                )?);
+            }
+        }
+        Ok(designs)
+    }
+}
+
+/// A design the advisor recommends for a performance target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Label of the recommended design (`"2B,2W"` convention).
+    pub label: String,
+    /// The design's normalized (performance, energy) point.
+    pub point: NormalizedPoint,
+    /// How the design executes the workload.
+    pub mode: ExecutionMode,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} execution]: {}",
+            self.label, self.mode, self.point
+        )
+    }
+}
+
+/// The advisor's full assessment of a design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpaceReport {
+    /// Normalized (performance, energy) points for every feasible design,
+    /// relative to the all-Beefy reference.
+    pub series: NormalizedSeries,
+    /// The underlying model predictions, reference first, labelled like the
+    /// series points.
+    pub predictions: Vec<(String, ModelPrediction)>,
+    /// Designs the model refused to plan (hash table fits no execution
+    /// mode), with the planner's reason.
+    pub infeasible: Vec<(String, String)>,
+}
+
+impl DesignSpaceReport {
+    /// The prediction for a labelled design, if it was feasible.
+    pub fn prediction(&self, label: &str) -> Option<&ModelPrediction> {
+        self.predictions
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p)
+    }
+
+    /// The normalized point for a labelled design, if it was feasible.
+    pub fn point(&self, label: &str) -> Option<&NormalizedPoint> {
+        self.series
+            .points()
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p)
+    }
+
+    /// The Section 6 selection rule: among feasible designs whose normalized
+    /// performance is at least `min_performance`, the one with the lowest
+    /// normalized energy.
+    pub fn recommend(&self, min_performance: f64) -> Option<Recommendation> {
+        let (label, point) = self.series.best_meeting_target(min_performance)?;
+        // Series points and predictions are pushed in lockstep by
+        // `DesignAdvisor::evaluate`.
+        let mode = self
+            .prediction(label)
+            .expect("every series point has a prediction")
+            .mode;
+        Some(Recommendation {
+            label: label.clone(),
+            point: *point,
+            mode,
+        })
+    }
+}
+
+/// The design-space advisor: an analytical model plus the join strategy the
+/// cluster will run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignAdvisor {
+    model: AnalyticalModel,
+    strategy: JoinStrategy,
+}
+
+impl DesignAdvisor {
+    /// An advisor that evaluates designs under the given model and strategy.
+    pub fn new(model: AnalyticalModel, strategy: JoinStrategy) -> Self {
+        Self { model, strategy }
+    }
+
+    /// The model driving the predictions.
+    pub fn model(&self) -> &AnalyticalModel {
+        &self.model
+    }
+
+    /// Predict every design in `space`, normalize against the all-Beefy
+    /// reference, and report feasible points and infeasible designs.
+    ///
+    /// The reference design itself must be feasible; any other design the
+    /// planner refuses is recorded in
+    /// [`DesignSpaceReport::infeasible`].
+    pub fn evaluate(&self, space: &DesignSpace) -> Result<DesignSpaceReport, CoreError> {
+        let mut designs = space.designs()?.into_iter();
+        let reference = designs
+            .next()
+            .expect("designs() yields the reference first");
+        let reference_label = reference.label();
+        let reference_prediction = self.model.predict(&reference, self.strategy)?;
+        let reference_measurement = reference_prediction.measurement();
+
+        let mut series = NormalizedSeries::with_reference(reference_label.clone());
+        let mut predictions = vec![(reference_label, reference_prediction)];
+        let mut infeasible = Vec::new();
+        for design in designs {
+            let label = design.label();
+            match self.model.predict(&design, self.strategy) {
+                Ok(prediction) => {
+                    let point = prediction
+                        .measurement()
+                        .normalized_against(&reference_measurement)?;
+                    series.push(label.clone(), point);
+                    predictions.push((label, prediction));
+                }
+                Err(CoreError::Runtime(err)) => infeasible.push((label, err.to_string())),
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(DesignSpaceReport {
+            series,
+            predictions,
+            infeasible,
+        })
+    }
+
+    /// Evaluate `space` and apply the Section 6 selection rule for
+    /// `min_performance`. `None` when no feasible design meets the target
+    /// (cannot happen for targets ≤ 1: the reference always qualifies).
+    pub fn recommend(
+        &self,
+        space: &DesignSpace,
+        min_performance: f64,
+    ) -> Result<Option<Recommendation>, CoreError> {
+        Ok(self.evaluate(space)?.recommend(min_performance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_pstore::JoinQuerySpec;
+    use eedc_simkit::catalog::{cluster_v_node, laptop_b};
+
+    fn advisor() -> DesignAdvisor {
+        DesignAdvisor::new(
+            AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle()).unwrap(),
+            JoinStrategy::DualShuffle,
+        )
+    }
+
+    #[test]
+    fn design_space_enumerates_the_grid() {
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 2, 2).unwrap();
+        assert_eq!(space.len(), 8);
+        assert!(!space.is_empty());
+        let designs = space.designs().unwrap();
+        assert_eq!(designs.len(), 8);
+        assert_eq!(designs[0].label(), "2B,0W");
+        let labels: Vec<String> = designs.iter().map(|d| d.label()).collect();
+        for expected in ["2B,0W", "2B,2W", "1B,0W", "1B,2W", "0B,1W", "0B,2W"] {
+            assert!(labels.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert_eq!(space.reference().unwrap().label(), "2B,0W");
+    }
+
+    #[test]
+    fn design_space_validates_inputs() {
+        assert!(DesignSpace::new(laptop_b(), laptop_b(), 2, 2).is_err());
+        assert!(DesignSpace::new(cluster_v_node(), cluster_v_node(), 2, 2).is_err());
+        assert!(DesignSpace::new(cluster_v_node(), laptop_b(), 0, 4).is_err());
+    }
+
+    #[test]
+    fn evaluation_accounts_for_every_design() {
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 4, 4).unwrap();
+        let report = advisor().evaluate(&space).unwrap();
+        // Every grid point is either a feasible series point or recorded
+        // infeasible.
+        assert_eq!(
+            report.series.points().len() + report.infeasible.len(),
+            space.len()
+        );
+        assert_eq!(report.predictions.len(), report.series.points().len());
+        // The 70 GB dual-shuffle hash table fits no all-Wimpy design here
+        // (17.5 GB+ per 8 GB laptop), so the infeasible list is non-empty.
+        assert!(!report.infeasible.is_empty());
+        assert!(report
+            .infeasible
+            .iter()
+            .any(|(label, _)| label.starts_with("0B,")));
+        // The reference leads the predictions and sits at (1, 1).
+        assert_eq!(report.predictions[0].0, "4B,0W");
+        assert_eq!(report.series.points()[0].1, NormalizedPoint::reference());
+    }
+
+    #[test]
+    fn recommendation_meets_the_target_with_minimal_energy() {
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 4, 8).unwrap();
+        let report = advisor().evaluate(&space).unwrap();
+        for target in [0.9, 0.75, 0.5] {
+            let pick = report
+                .recommend(target)
+                .expect("reference always qualifies");
+            assert!(
+                pick.point.performance + 1e-9 >= target,
+                "{target}: {pick} below the floor"
+            );
+            for (label, point) in report.series.points() {
+                if point.performance + 1e-9 >= target {
+                    assert!(
+                        pick.point.energy <= point.energy + 1e-9,
+                        "{target}: {label} beats the pick"
+                    );
+                }
+            }
+        }
+        // Mixed designs with more total nodes than the reference can beat it
+        // (performance above 1.0) — but a truly unreachable target yields no
+        // recommendation.
+        assert!(report
+            .series
+            .highest_performance()
+            .is_some_and(|(_, p)| p.performance > 1.0));
+        assert!(report.recommend(1e9).is_none());
+    }
+
+    #[test]
+    fn recommend_convenience_matches_evaluate() {
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 3, 3).unwrap();
+        let adv = advisor();
+        let direct = adv.recommend(&space, 0.75).unwrap();
+        let via_report = adv.evaluate(&space).unwrap().recommend(0.75);
+        assert_eq!(direct, via_report);
+        assert!(direct.unwrap().to_string().contains("execution"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the analytical model and advisor.
+
+use eedc_pstore::PStoreError;
+use eedc_simkit::error::SimError;
+use std::fmt;
+
+/// Errors raised by the analytical model and the design-space advisor.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A workload or design-space parameter is out of range.
+    Invalid(String),
+    /// An error bubbled up from the P-store planning layer (most commonly: a
+    /// hash table that fits no execution mode on the candidate design).
+    Runtime(PStoreError),
+    /// An error from the metrics layer (degenerate reference measurement).
+    Metrics(SimError),
+}
+
+impl CoreError {
+    /// An invalid-parameter error with the given message.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        CoreError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Invalid(message) => write!(f, "invalid model input: {message}"),
+            CoreError::Runtime(err) => write!(f, "{err}"),
+            CoreError::Metrics(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Invalid(_) => None,
+            CoreError::Runtime(err) => Some(err),
+            CoreError::Metrics(err) => Some(err),
+        }
+    }
+}
+
+impl From<PStoreError> for CoreError {
+    fn from(err: PStoreError) -> Self {
+        CoreError::Runtime(err)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(err: SimError) -> Self {
+        CoreError::Metrics(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let invalid = CoreError::invalid("bad selectivity");
+        assert!(invalid.to_string().contains("bad selectivity"));
+        assert!(std::error::Error::source(&invalid).is_none());
+
+        let runtime: CoreError = PStoreError::planning("does not fit").into();
+        assert!(runtime.to_string().contains("does not fit"));
+        assert!(std::error::Error::source(&runtime).is_some());
+
+        let metrics: CoreError = SimError::invalid("bad reference").into();
+        assert!(metrics.to_string().contains("bad reference"));
+        assert!(std::error::Error::source(&metrics).is_some());
+    }
+}

@@ -1,17 +1,34 @@
 //! # eedc-core
 //!
 //! The analytical cluster design model of Section 5.4 and the design-space
-//! advisor of Section 6 will live here: closed-form response-time and energy
-//! predictions over `(b Beefy, w Wimpy)` cluster designs, validated against
-//! the P-store runtime, plus the "most efficient design meeting a
-//! performance target" selection rule.
+//! advisor of Section 6.
 //!
-//! This crate is currently a skeleton: it carries the published model
-//! [`params`] so the other layers can reference them, and the model itself
-//! is tracked as an open item in `ROADMAP.md`.
+//! * [`model`] — closed-form per-phase response-time and energy predictions
+//!   for any `(b Beefy, w Wimpy)` cluster design running the sweep join
+//!   (700 GB ORDERS ⋈ 2.8 TB LINEITEM in the paper's sweeps): scan rates,
+//!   per-node port bandwidth, broadcast versus shuffle volumes, and the
+//!   homogeneous/heterogeneous mode selection shared with the P-store
+//!   runtime via [`eedc_pstore::select_execution_mode`].
+//! * [`advisor`] — enumerates the design grid, normalizes predictions into
+//!   an [`eedc_simkit::metrics::NormalizedSeries`] against the all-Beefy
+//!   reference, and returns the cheapest design meeting a performance floor.
+//! * [`params`] — the published working-set sizes of the Section 5.4 sweeps.
+//!
+//! The model is validated against measured [`eedc_pstore::PStoreCluster`]
+//! points in `tests/model_validation.rs`: homogeneous scale-downs and
+//! heterogeneous designs must agree within 15%, and the advisor's pick must
+//! match the pick over the measured series.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod advisor;
+pub mod error;
+pub mod model;
+
+pub use advisor::{DesignAdvisor, DesignSpace, DesignSpaceReport, Recommendation};
+pub use error::CoreError;
+pub use model::{AnalyticalModel, ModelPrediction, PhasePrediction, SweepJoin};
 
 pub mod params {
     //! Published parameters of the Section 5.4 model sweeps.

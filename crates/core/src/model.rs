@@ -1,0 +1,656 @@
+//! The closed-form analytical cluster design model of Section 5.4.
+//!
+//! Given a `(b Beefy, w Wimpy)` cluster design and the parameters of the
+//! sweep join — 700 GB ORDERS ⋈ 2.8 TB LINEITEM in the paper's sweeps — the
+//! model predicts the response time and energy of each execution phase from
+//! first principles, with no data generation and no flow simulation:
+//!
+//! * **scan** — every node scans its `1/n` share of the input at its CPU
+//!   pipeline rate (`C_B` / `C_W`; the disk rate `I` when the tables are not
+//!   memory resident),
+//! * **network** — the shuffle or broadcast volume each node must push
+//!   through its egress port and pull through its ingress port, divided by
+//!   the per-node port bandwidth `L`. This is exactly the completion time of
+//!   the max–min fair allocation `eedc-netsim` computes for balanced
+//!   transfer patterns, closed form,
+//! * **compute** — the bytes each consumer builds into or probes against its
+//!   hash table, again at the CPU pipeline rate,
+//! * a phase lasts as long as its slowest component (the three are
+//!   pipelined), and per-node energy follows the paper's utilization model:
+//!   `u = G + rate / C`, wall power from the published regression models,
+//!   energy = power × duration.
+//!
+//! Mode selection — homogeneous versus heterogeneous execution — reuses
+//! [`eedc_pstore::select_execution_mode`], the *same* rule the runtime
+//! applies, so the model and the measured runtime agree on which designs
+//! demote their Wimpy nodes. The integration test in
+//! `tests/model_validation.rs` holds the model to within 15% of measured
+//! `PStoreCluster` points.
+
+use crate::error::CoreError;
+use crate::params;
+use eedc_pstore::cluster::select_execution_mode;
+use eedc_pstore::stats::{Bottleneck, ExecutionMode};
+use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc_simkit::metrics::Measurement;
+use eedc_simkit::units::{Joules, Megabytes, MegabytesPerSec, Seconds};
+use eedc_simkit::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Workload parameters of the modeled two-table sweep join.
+///
+/// Following the paper's convention, the build side is ORDERS and the probe
+/// side is LINEITEM; both inputs are spread uniformly across the cluster
+/// nodes (round-robin / hash placement makes the per-node share `1/n` of the
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepJoin {
+    /// Total build-side (ORDERS) working set.
+    pub build_bytes: Megabytes,
+    /// Total probe-side (LINEITEM) working set.
+    pub probe_bytes: Megabytes,
+    /// Selectivity of the predicate on the build input, in `(0, 1]`.
+    pub build_selectivity: f64,
+    /// Selectivity of the predicate on the probe input, in `(0, 1]`.
+    pub probe_selectivity: f64,
+    /// Hash-table bytes per qualifying build-side byte.
+    pub hash_table_expansion: f64,
+    /// Fraction of node memory reserved for everything that is not the
+    /// build-side hash table.
+    pub hash_table_headroom: f64,
+    /// Whether the tables are memory resident (scans run at the CPU pipeline
+    /// rate) or disk resident (scans gated by the storage bandwidth).
+    pub in_memory: bool,
+    /// Number of identical concurrent queries sharing the cluster.
+    pub concurrency: usize,
+}
+
+impl SweepJoin {
+    /// The Section 5.4 model sweep: a 700 GB ORDERS ⋈ 2.8 TB LINEITEM join
+    /// with the given predicate selectivities, memory-resident, with the
+    /// default hash-table sizing of the P-store runtime.
+    pub fn section_5_4(query: JoinQuerySpec) -> Self {
+        let defaults = RunOptions::default();
+        Self {
+            build_bytes: params::SWEEP_ORDERS_WORKING_SET,
+            probe_bytes: params::SWEEP_LINEITEM_WORKING_SET,
+            build_selectivity: query.build_selectivity,
+            probe_selectivity: query.probe_selectivity,
+            hash_table_expansion: defaults.hash_table_expansion,
+            hash_table_headroom: defaults.hash_table_headroom,
+            in_memory: defaults.in_memory,
+            concurrency: 1,
+        }
+    }
+
+    /// A workload that mirrors what a loaded [`PStoreCluster`] actually
+    /// executes for `query`: the nominal-scale working sets of the generated
+    /// tables and the *realized* predicate selectivities (the engine-scale
+    /// cutoffs quantize the requested ones). Predictions built from this
+    /// workload are directly comparable to the cluster's measured points.
+    pub fn matching_cluster(
+        cluster: &PStoreCluster,
+        query: &JoinQuerySpec,
+    ) -> Result<Self, CoreError> {
+        let build_bytes = cluster.nominal_build_bytes();
+        let probe_bytes = cluster.nominal_probe_bytes();
+        if build_bytes.value() <= 0.0 || probe_bytes.value() <= 0.0 {
+            return Err(CoreError::invalid("cluster holds empty tables"));
+        }
+        let options = cluster.options();
+        Ok(Self {
+            build_bytes,
+            probe_bytes,
+            build_selectivity: cluster.nominal_qualifying_build_bytes(query)? / build_bytes,
+            probe_selectivity: cluster.nominal_qualifying_probe_bytes(query)? / probe_bytes,
+            hash_table_expansion: options.hash_table_expansion,
+            hash_table_headroom: options.hash_table_headroom,
+            in_memory: options.in_memory,
+            concurrency: 1,
+        })
+    }
+
+    /// Run `concurrency` identical queries instead of one.
+    pub fn with_concurrency(mut self, concurrency: usize) -> Self {
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// Total build-side hash-table footprint across all concurrent queries.
+    pub fn total_hash_table(&self) -> Megabytes {
+        self.build_bytes
+            * self.build_selectivity
+            * self.hash_table_expansion
+            * self.concurrency as f64
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        for (label, v) in [
+            ("build working set", self.build_bytes.value()),
+            ("probe working set", self.probe_bytes.value()),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(CoreError::invalid(format!(
+                    "{label} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        for (label, s) in [
+            ("build", self.build_selectivity),
+            ("probe", self.probe_selectivity),
+        ] {
+            if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                return Err(CoreError::invalid(format!(
+                    "{label} selectivity {s} outside (0, 1]"
+                )));
+            }
+        }
+        if !(self.hash_table_expansion.is_finite() && self.hash_table_expansion >= 1.0) {
+            return Err(CoreError::invalid(
+                "hash table expansion must be at least 1",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.hash_table_headroom) {
+            return Err(CoreError::invalid("hash table headroom must be in [0, 1)"));
+        }
+        if self.concurrency == 0 {
+            return Err(CoreError::invalid("concurrency must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// One predicted execution phase, shaped like the runtime's
+/// [`eedc_pstore::PhaseStats`] so measured and modeled breakdowns line up
+/// column for column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePrediction {
+    /// Phase label (`"build"` / `"probe"`).
+    pub label: String,
+    /// Predicted wall-clock duration of the phase.
+    pub duration: Seconds,
+    /// Predicted cluster energy over the phase.
+    pub energy: Joules,
+    /// Bytes scanned across the cluster.
+    pub bytes_scanned: Megabytes,
+    /// Bytes predicted to cross the network.
+    pub bytes_over_network: Megabytes,
+    /// Time the slowest producer spends scanning.
+    pub scan_time: Seconds,
+    /// Time the most loaded port spends transferring.
+    pub network_time: Seconds,
+    /// Time the slowest consumer spends building/probing.
+    pub compute_time: Seconds,
+    /// The component predicted to bound the phase.
+    pub bottleneck: Bottleneck,
+}
+
+/// The model's prediction for one design executing the sweep join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelPrediction {
+    /// Label of the predicted design (`"2B,2W"` convention).
+    pub cluster_label: String,
+    /// The join strategy modeled.
+    pub strategy: JoinStrategy,
+    /// Homogeneous or heterogeneous execution, per the shared selection rule.
+    pub mode: ExecutionMode,
+    /// Per-phase predictions, in execution order (build, probe).
+    pub phases: Vec<PhasePrediction>,
+}
+
+impl ModelPrediction {
+    /// Predicted query response time (phases are sequential).
+    pub fn response_time(&self) -> Seconds {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Predicted total cluster energy.
+    pub fn energy(&self) -> Joules {
+        self.phases.iter().map(|p| p.energy).sum()
+    }
+
+    /// Collapse into a [`Measurement`] for normalization against measured or
+    /// modeled reference points.
+    pub fn measurement(&self) -> Measurement {
+        Measurement::new(self.response_time(), self.energy())
+    }
+
+    /// Predicted bytes over the network across all phases.
+    pub fn bytes_over_network(&self) -> Megabytes {
+        self.phases.iter().map(|p| p.bytes_over_network).sum()
+    }
+
+    /// The phase with the given label, if present.
+    pub fn phase(&self, label: &str) -> Option<&PhasePrediction> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+}
+
+/// Per-node data-movement volumes of one phase (the scanned volumes are
+/// movement-independent and evaluated separately).
+struct MovementVolumes {
+    /// Bytes each node pushes through its hash-table build/probe path.
+    computed: Vec<Megabytes>,
+    /// Network bytes each node sends (local shares excluded).
+    egress: Vec<Megabytes>,
+    /// Network bytes each node receives.
+    ingress: Vec<Megabytes>,
+}
+
+impl MovementVolumes {
+    /// No movement at all: every node consumes its own qualifying bytes.
+    fn local(computed: Vec<Megabytes>) -> Self {
+        let n = computed.len();
+        Self {
+            computed,
+            egress: vec![Megabytes::zero(); n],
+            ingress: vec![Megabytes::zero(); n],
+        }
+    }
+}
+
+/// Closed-form per-node volumes of a hash shuffle: every node sends its
+/// qualifying bytes split evenly across the destinations; the share hashed to
+/// the local node never crosses the network (mirrors
+/// `eedc_netsim::shuffle_flows`).
+fn shuffle_volumes(qualifying: &[Megabytes], destinations: &[usize]) -> MovementVolumes {
+    let n = qualifying.len();
+    let d = destinations.len() as f64;
+    let total: Megabytes = qualifying.iter().copied().sum();
+    let is_destination: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &id in destinations {
+            v[id] = true;
+        }
+        v
+    };
+    let mut egress = vec![Megabytes::zero(); n];
+    let mut ingress = vec![Megabytes::zero(); n];
+    let mut computed = vec![Megabytes::zero(); n];
+    for (id, &q) in qualifying.iter().enumerate() {
+        egress[id] = if is_destination[id] {
+            q * ((d - 1.0) / d)
+        } else {
+            q
+        };
+    }
+    for &id in destinations {
+        computed[id] = total / d;
+        ingress[id] = (total - qualifying[id]) / d;
+    }
+    MovementVolumes {
+        computed,
+        egress,
+        ingress,
+    }
+}
+
+/// Closed-form per-node volumes of a broadcast: every node sends its full
+/// qualifying bytes to every destination other than itself (mirrors
+/// `eedc_netsim::broadcast_flows`).
+fn broadcast_volumes(qualifying: &[Megabytes], destinations: &[usize]) -> MovementVolumes {
+    let n = qualifying.len();
+    let d = destinations.len() as f64;
+    let total: Megabytes = qualifying.iter().copied().sum();
+    let is_destination: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &id in destinations {
+            v[id] = true;
+        }
+        v
+    };
+    let mut egress = vec![Megabytes::zero(); n];
+    let mut ingress = vec![Megabytes::zero(); n];
+    let mut computed = vec![Megabytes::zero(); n];
+    for (id, &q) in qualifying.iter().enumerate() {
+        let copies = if is_destination[id] { d - 1.0 } else { d };
+        egress[id] = q * copies;
+    }
+    for &id in destinations {
+        computed[id] = total;
+        ingress[id] = total - qualifying[id];
+    }
+    MovementVolumes {
+        computed,
+        egress,
+        ingress,
+    }
+}
+
+/// The Section 5.4 analytical model: closed-form phase predictions for any
+/// cluster design running a [`SweepJoin`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticalModel {
+    workload: SweepJoin,
+}
+
+impl AnalyticalModel {
+    /// Build a model for the given workload, validating its parameters.
+    pub fn new(workload: SweepJoin) -> Result<Self, CoreError> {
+        workload.validate()?;
+        Ok(Self { workload })
+    }
+
+    /// A model of the paper's Section 5.4 sweep join. Errs when the query's
+    /// selectivities are outside `(0, 1]` — `JoinQuerySpec` itself does not
+    /// validate them.
+    pub fn section_5_4(query: JoinQuerySpec) -> Result<Self, CoreError> {
+        Self::new(SweepJoin::section_5_4(query))
+    }
+
+    /// The workload being modeled.
+    pub fn workload(&self) -> &SweepJoin {
+        &self.workload
+    }
+
+    /// Predict the per-phase response time and energy of `design` executing
+    /// the workload under `strategy`.
+    ///
+    /// Fails when the build-side hash table fits no execution mode on the
+    /// design — the same designs the P-store runtime refuses to plan.
+    pub fn predict(
+        &self,
+        design: &ClusterSpec,
+        strategy: JoinStrategy,
+    ) -> Result<ModelPrediction, CoreError> {
+        let w = &self.workload;
+        let nodes = design.nodes();
+        let n = nodes.len();
+        let share = 1.0 / n as f64;
+
+        let (mode, destinations) =
+            select_execution_mode(nodes, strategy, w.total_hash_table(), w.hash_table_headroom)?;
+
+        // ---- Build phase: scan + filter ORDERS, move it, build hash tables.
+        let build_scanned = vec![w.build_bytes * share; n];
+        let build_qualifying = vec![w.build_bytes * (share * w.build_selectivity); n];
+        let build = match strategy {
+            JoinStrategy::DualShuffle => shuffle_volumes(&build_qualifying, &destinations),
+            JoinStrategy::Broadcast => broadcast_volumes(&build_qualifying, &destinations),
+            JoinStrategy::PrePartitioned => MovementVolumes::local(build_qualifying),
+        };
+        let build_phase = self.phase(nodes, "build", &build_scanned, &build);
+
+        // ---- Probe phase: scan + filter LINEITEM, move it, probe.
+        let probe_scanned = vec![w.probe_bytes * share; n];
+        let probe_qualifying = vec![w.probe_bytes * (share * w.probe_selectivity); n];
+        let probe = match (strategy, mode) {
+            (JoinStrategy::DualShuffle, _)
+            | (JoinStrategy::Broadcast, ExecutionMode::Heterogeneous) => {
+                shuffle_volumes(&probe_qualifying, &destinations)
+            }
+            (JoinStrategy::Broadcast, ExecutionMode::Homogeneous)
+            | (JoinStrategy::PrePartitioned, _) => MovementVolumes::local(probe_qualifying),
+        };
+        let probe_phase = self.phase(nodes, "probe", &probe_scanned, &probe);
+
+        Ok(ModelPrediction {
+            cluster_label: design.label(),
+            strategy,
+            mode,
+            phases: vec![build_phase, probe_phase],
+        })
+    }
+
+    /// Evaluate one phase: scanning, transfer, and compute are pipelined, so
+    /// the phase lasts as long as its slowest component; node energy follows
+    /// from the rate each node sustains over that duration. This mirrors the
+    /// runtime's `PStoreCluster::phase_stats` term for term, with the flow
+    /// simulation replaced by the per-port closed form.
+    fn phase(
+        &self,
+        nodes: &[NodeSpec],
+        label: &str,
+        scanned: &[Megabytes],
+        movement: &MovementVolumes,
+    ) -> PhasePrediction {
+        let batch = self.workload.concurrency as f64;
+        let mut scan_time = Seconds::zero();
+        let mut network_time = Seconds::zero();
+        let mut compute_time = Seconds::zero();
+        for (id, node) in nodes.iter().enumerate() {
+            let scan_rate = if self.workload.in_memory {
+                node.cpu_bandwidth
+            } else {
+                node.disk_bandwidth.min(node.cpu_bandwidth)
+            };
+            scan_time = scan_time.max(scanned[id] * batch / scan_rate);
+            compute_time = compute_time.max(movement.computed[id] * batch / node.cpu_bandwidth);
+            let port = movement.egress[id].max(movement.ingress[id]);
+            network_time = network_time.max(port * batch / node.network_bandwidth);
+        }
+
+        let duration = network_time.max(scan_time).max(compute_time);
+        let bottleneck = if network_time >= scan_time && network_time >= compute_time {
+            Bottleneck::Network
+        } else if scan_time >= compute_time {
+            Bottleneck::Scan
+        } else {
+            Bottleneck::Compute
+        };
+
+        let mut energy = Joules::zero();
+        for (id, node) in nodes.iter().enumerate() {
+            let processed = (scanned[id] + movement.computed[id]) * batch;
+            let rate = if duration.value() > f64::EPSILON {
+                processed / duration
+            } else {
+                MegabytesPerSec::zero()
+            };
+            energy += node.power_at(node.utilization_at_rate(rate)) * duration;
+        }
+
+        PhasePrediction {
+            label: label.into(),
+            duration,
+            energy,
+            bytes_scanned: scanned.iter().copied().sum::<Megabytes>() * batch,
+            bytes_over_network: movement.egress.iter().copied().sum::<Megabytes>() * batch,
+            scan_time,
+            network_time,
+            compute_time,
+            bottleneck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_simkit::catalog::{cluster_v_node, laptop_b};
+
+    fn q3_model() -> AnalyticalModel {
+        AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle()).unwrap()
+    }
+
+    fn homogeneous(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(cluster_v_node(), n).unwrap()
+    }
+
+    #[test]
+    fn section_5_4_workload_carries_the_published_sizes() {
+        let w = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        assert_eq!(w.build_bytes.as_gigabytes(), 700.0);
+        assert_eq!(w.probe_bytes.as_gigabytes(), 2800.0);
+        assert_eq!(w.concurrency, 1);
+        // 5% of 700 GB × expansion 2 = 70 GB of hash table.
+        assert!((w.total_hash_table().as_gigabytes() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_validation_rejects_bad_parameters() {
+        let good = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        assert!(AnalyticalModel::new(good).is_ok());
+        for bad in [
+            SweepJoin {
+                build_bytes: Megabytes(0.0),
+                ..good
+            },
+            SweepJoin {
+                probe_selectivity: 0.0,
+                ..good
+            },
+            SweepJoin {
+                build_selectivity: 1.5,
+                ..good
+            },
+            SweepJoin {
+                hash_table_expansion: 0.5,
+                ..good
+            },
+            SweepJoin {
+                hash_table_headroom: 1.0,
+                ..good
+            },
+            SweepJoin {
+                concurrency: 0,
+                ..good
+            },
+        ] {
+            assert!(AnalyticalModel::new(bad).is_err(), "{bad:?}");
+        }
+        // JoinQuerySpec does not validate its selectivities, so the
+        // convenience constructor must surface the error rather than panic.
+        assert!(AnalyticalModel::section_5_4(JoinQuerySpec::new(0.0, 0.05)).is_err());
+        assert!(AnalyticalModel::section_5_4(JoinQuerySpec::new(0.05, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn dual_shuffle_is_network_bound_and_slows_as_nodes_shrink() {
+        // The paper's central observation, closed form: with memory-resident
+        // data the repartitioning join is gated by the interconnect, and the
+        // per-port shuffle volume grows as the cluster shrinks.
+        let model = q3_model();
+        let p16 = model
+            .predict(&homogeneous(16), JoinStrategy::DualShuffle)
+            .unwrap();
+        let p4 = model
+            .predict(&homogeneous(4), JoinStrategy::DualShuffle)
+            .unwrap();
+        assert_eq!(p16.mode, ExecutionMode::Homogeneous);
+        for phase in &p16.phases {
+            assert_eq!(phase.bottleneck, Bottleneck::Network);
+            assert!(phase.energy.value() > 0.0);
+        }
+        assert!(p4.response_time() > p16.response_time());
+        // Energy does NOT shrink proportionally: the smaller cluster runs
+        // longer at low utilization (the energy-proportionality gap).
+        assert!(p4.energy().value() > p16.energy().value() * 0.25);
+        assert_eq!(p16.cluster_label, "16B,0W");
+    }
+
+    #[test]
+    fn shuffle_volume_arithmetic_matches_the_exchange_operator() {
+        // 4 nodes shuffling to all 4: each node keeps 1/4 of its data local,
+        // so 3/4 of the total crosses the network.
+        let q = vec![Megabytes(100.0); 4];
+        let v = shuffle_volumes(&q, &[0, 1, 2, 3]);
+        let network: f64 = v.egress.iter().map(|b| b.value()).sum();
+        assert!((network - 300.0).abs() < 1e-9);
+        for id in 0..4 {
+            assert!((v.egress[id].value() - 75.0).abs() < 1e-9);
+            assert!((v.ingress[id].value() - 75.0).abs() < 1e-9);
+            assert!((v.computed[id].value() - 100.0).abs() < 1e-9);
+        }
+        // Shuffling to a 2-node subset: sources outside the subset send
+        // everything; each destination ingests (total - own)/2.
+        let v = shuffle_volumes(&q, &[0, 1]);
+        assert!((v.egress[2].value() - 100.0).abs() < 1e-9);
+        assert!((v.egress[0].value() - 50.0).abs() < 1e-9);
+        assert!((v.ingress[0].value() - 150.0).abs() < 1e-9);
+        assert!((v.computed[0].value() - 200.0).abs() < 1e-9);
+        assert_eq!(v.computed[2], Megabytes::zero());
+    }
+
+    #[test]
+    fn broadcast_volume_arithmetic_matches_the_exchange_operator() {
+        // Broadcast to all 4 nodes: every destination receives the whole
+        // table minus its own fragment — 3 × total over the network.
+        let q = vec![Megabytes(100.0); 4];
+        let v = broadcast_volumes(&q, &[0, 1, 2, 3]);
+        let network: f64 = v.egress.iter().map(|b| b.value()).sum();
+        assert!((network - 1200.0).abs() < 1e-9);
+        for id in 0..4 {
+            assert!((v.ingress[id].value() - 300.0).abs() < 1e-9);
+            assert!((v.computed[id].value() - 400.0).abs() < 1e-9);
+        }
+        // Broadcast into a Beefy subset: Wimpy sources send |B| full copies.
+        let v = broadcast_volumes(&q, &[0, 1]);
+        assert!((v.egress[2].value() - 200.0).abs() < 1e-9);
+        assert!((v.egress[0].value() - 100.0).abs() < 1e-9);
+        assert!((v.ingress[1].value() - 300.0).abs() < 1e-9);
+        assert_eq!(v.computed[3], Megabytes::zero());
+    }
+
+    #[test]
+    fn oversized_broadcast_tables_demote_wimpy_nodes_in_the_model() {
+        // The q3 broadcast build side is 1% of 700 GB × expansion 2 = 14 GB
+        // of hash table per destination: fits the 48 GB Beefy nodes, not the
+        // 8 GB laptops. The model must agree with the runtime's rule.
+        let model = AnalyticalModel::section_5_4(JoinQuerySpec::q3_broadcast()).unwrap();
+        let mixed = ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 6).unwrap();
+        let p = model.predict(&mixed, JoinStrategy::Broadcast).unwrap();
+        assert_eq!(p.mode, ExecutionMode::Heterogeneous);
+        // Both phases cross the network: broadcast into the Beefy subset,
+        // then the probe shuffle of the demoted producers.
+        for phase in &p.phases {
+            assert!(phase.bytes_over_network.value() > 0.0, "{}", phase.label);
+        }
+        // An all-Beefy design of the same size stays homogeneous.
+        let p = model
+            .predict(&homogeneous(8), JoinStrategy::Broadcast)
+            .unwrap();
+        assert_eq!(p.mode, ExecutionMode::Homogeneous);
+    }
+
+    #[test]
+    fn infeasible_designs_are_errors_not_numbers() {
+        // 70 GB of dual-shuffle hash table over 4 laptops is 17.5 GB per
+        // node against 6.4 GB usable: no execution mode exists.
+        let model = q3_model();
+        let wimpy_only = ClusterSpec::homogeneous(laptop_b(), 4).unwrap();
+        let err = model
+            .predict(&wimpy_only, JoinStrategy::DualShuffle)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn prepartitioned_runs_without_network_time() {
+        let model = q3_model();
+        let p = model
+            .predict(&homogeneous(8), JoinStrategy::PrePartitioned)
+            .unwrap();
+        assert_eq!(p.bytes_over_network(), Megabytes::zero());
+        for phase in &p.phases {
+            assert_eq!(phase.network_time, Seconds::zero());
+            assert_ne!(phase.bottleneck, Bottleneck::Network);
+            assert!(phase.energy.value() > 0.0);
+        }
+        // And it is faster than the repartitioning plan on the same design.
+        let shuffle = model
+            .predict(&homogeneous(8), JoinStrategy::DualShuffle)
+            .unwrap();
+        assert!(p.response_time() < shuffle.response_time());
+    }
+
+    #[test]
+    fn concurrency_scales_volumes_linearly() {
+        let one = q3_model();
+        let two = AnalyticalModel::new(
+            SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle()).with_concurrency(2),
+        )
+        .unwrap();
+        let p1 = one
+            .predict(&homogeneous(8), JoinStrategy::DualShuffle)
+            .unwrap();
+        let p2 = two
+            .predict(&homogeneous(8), JoinStrategy::DualShuffle)
+            .unwrap();
+        // Twice the data through the same ports: twice the network time.
+        let t1 = p1.phase("probe").unwrap().network_time.value();
+        let t2 = p2.phase("probe").unwrap().network_time.value();
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert!(p2.response_time().value() > p1.response_time().value());
+    }
+}

@@ -1,0 +1,172 @@
+//! Model-versus-measurement validation: the closed-form Section 5.4 model
+//! must reproduce the P-store runtime's measured (performance, energy)
+//! points — homogeneous scale-downs and heterogeneous designs — within 15%,
+//! and the Section 6 advisor's pick over the modeled series must match the
+//! pick over the measured series.
+
+use eedc_core::model::{AnalyticalModel, SweepJoin};
+use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc_simkit::catalog::{cluster_v_node, laptop_b};
+use eedc_simkit::metrics::{Measurement, NormalizedSeries};
+use eedc_tpch::ScaleFactor;
+
+/// Acceptance tolerance on normalized (performance, energy) coordinates.
+const TOLERANCE: f64 = 0.15;
+
+/// Engine scale for the validation runs. The model assumes the per-node data
+/// shares are uniform; at very small engine scales only a handful of
+/// qualifying rows land on each of 16 ports and the runtime's realized port
+/// volumes are dominated by sampling noise (30%+ over the uniform share), so
+/// validation materialises enough rows for the law of large numbers to hold.
+fn validation_options() -> RunOptions {
+    RunOptions {
+        engine_scale: ScaleFactor(0.05),
+        ..RunOptions::default()
+    }
+}
+
+fn assert_close(what: &str, modeled: f64, measured: f64) {
+    let err = (modeled - measured).abs() / measured;
+    assert!(
+        err <= TOLERANCE,
+        "{what}: modeled {modeled:.4} vs measured {measured:.4} ({:.1}% off)",
+        err * 100.0
+    );
+}
+
+/// Run one design through the runtime and the model side by side.
+fn measured_and_modeled(
+    spec: ClusterSpec,
+    options: RunOptions,
+    query: &JoinQuerySpec,
+    strategy: JoinStrategy,
+) -> (String, Measurement, Measurement) {
+    let cluster = PStoreCluster::load(spec.clone(), options).expect("cluster loads");
+    let execution = cluster.run(query, strategy).expect("query runs");
+    let workload = SweepJoin::matching_cluster(&cluster, query).expect("workload derives");
+    let model = AnalyticalModel::new(workload).expect("workload is valid");
+    let prediction = model.predict(&spec, strategy).expect("model predicts");
+    assert_eq!(
+        prediction.mode,
+        execution.mode,
+        "{}: model and runtime disagree on the execution mode",
+        spec.label()
+    );
+    (
+        execution.cluster_label.clone(),
+        execution.measurement(),
+        prediction.measurement(),
+    )
+}
+
+#[test]
+fn homogeneous_scale_down_matches_within_tolerance() {
+    // The Figure 1(a)-shaped experiment: shrink an all-Beefy Cluster-V
+    // cluster from 16 to 4 nodes under the Q3 dual-shuffle join and compare
+    // every normalized point.
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    let sizes = [16usize, 12, 10, 8, 6, 4];
+
+    let mut measured = Vec::new();
+    let mut modeled = Vec::new();
+    for &n in &sizes {
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), n).unwrap();
+        let (label, m, p) = measured_and_modeled(
+            spec,
+            validation_options(),
+            &query,
+            JoinStrategy::DualShuffle,
+        );
+        // Raw agreement first: the model predicts the runtime's absolute
+        // response time and energy, not just the ratios.
+        assert_close(
+            &format!("{label} response time"),
+            p.response_time.value(),
+            m.response_time.value(),
+        );
+        assert_close(
+            &format!("{label} energy"),
+            p.energy.value(),
+            m.energy.value(),
+        );
+        measured.push((label.clone(), m));
+        modeled.push((label, p));
+    }
+
+    let measured_series = NormalizedSeries::from_measurements(
+        measured[0].0.clone(),
+        measured[0].1,
+        measured[1..].iter().cloned(),
+    )
+    .unwrap();
+    let modeled_series = NormalizedSeries::from_measurements(
+        modeled[0].0.clone(),
+        modeled[0].1,
+        modeled[1..].iter().cloned(),
+    )
+    .unwrap();
+
+    for ((label, m), (_, p)) in measured_series.points().iter().zip(modeled_series.points()) {
+        assert_close(
+            &format!("{label} normalized performance"),
+            p.performance,
+            m.performance,
+        );
+        assert_close(&format!("{label} normalized energy"), p.energy, m.energy);
+    }
+
+    // The Section 6 selection rule must pick the same design over the
+    // modeled series as over the measured series.
+    for target in [0.9, 0.75, 0.5] {
+        let measured_pick = measured_series.best_meeting_target(target).map(|(l, _)| l);
+        let modeled_pick = modeled_series.best_meeting_target(target).map(|(l, _)| l);
+        assert_eq!(
+            modeled_pick, measured_pick,
+            "advisor pick diverges at target {target}"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_design_matches_within_tolerance() {
+    // A memory-tight 2 Beefy + 2 Wimpy design at SF-1000 goes heterogeneous
+    // under broadcast (the Wimpy laptops cannot hold the ~30 GB hash table);
+    // normalize it against the all-Beefy 4-node design and compare model to
+    // measurement.
+    let options = RunOptions {
+        nominal_scale: ScaleFactor::SF1000,
+        ..validation_options()
+    };
+    let query = JoinQuerySpec::new(0.5, 0.05);
+
+    let (_, reference_measured, reference_modeled) = measured_and_modeled(
+        ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap(),
+        options,
+        &query,
+        JoinStrategy::Broadcast,
+    );
+    let (label, mixed_measured, mixed_modeled) = measured_and_modeled(
+        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 2).unwrap(),
+        options,
+        &query,
+        JoinStrategy::Broadcast,
+    );
+    assert_eq!(label, "2B,2W");
+
+    let measured_point = mixed_measured
+        .normalized_against(&reference_measured)
+        .unwrap();
+    let modeled_point = mixed_modeled
+        .normalized_against(&reference_modeled)
+        .unwrap();
+    assert_close(
+        "2B,2W normalized performance",
+        modeled_point.performance,
+        measured_point.performance,
+    );
+    assert_close(
+        "2B,2W normalized energy",
+        modeled_point.energy,
+        measured_point.energy,
+    );
+}

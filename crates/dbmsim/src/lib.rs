@@ -36,6 +36,28 @@ impl BehaviouralModel {
         }
     }
 
+    /// A broadcast delivers (n-1)/n of the table to every node no matter how
+    /// many participate, so the broadcast term grows gently with n.
+    fn broadcast_shape(k: f64) -> f64 {
+        if k <= 1.0 {
+            0.0
+        } else {
+            (k - 1.0) / k
+        }
+    }
+
+    /// Broadcast fraction rescaled by `shape / shape(reference)`; a
+    /// single-node reference has no broadcast shape, so the fraction is
+    /// carried through unscaled.
+    fn broadcast_term(&self, shape: f64) -> f64 {
+        let reference_shape = Self::broadcast_shape(self.reference_nodes.max(1) as f64);
+        if reference_shape <= 0.0 {
+            self.profile.broadcast_fraction
+        } else {
+            self.profile.broadcast_fraction * shape / reference_shape
+        }
+    }
+
     /// Predicted response time at `nodes` nodes, relative to the reference
     /// configuration (1.0 = as fast as the reference).
     pub fn relative_response_time(&self, nodes: usize) -> f64 {
@@ -43,22 +65,20 @@ impl BehaviouralModel {
         let r = self.reference_nodes.max(1) as f64;
         let local = self.profile.local_fraction * r / n;
         let repartition = self.profile.repartition_fraction;
-        // A broadcast delivers (n-1)/n of the table to every node no matter
-        // how many participate, so the broadcast term grows gently with n.
-        let broadcast_shape = |k: f64| if k <= 1.0 { 0.0 } else { (k - 1.0) / k };
-        let reference_shape = broadcast_shape(r);
-        let broadcast = if reference_shape <= 0.0 {
-            self.profile.broadcast_fraction
-        } else {
-            self.profile.broadcast_fraction * broadcast_shape(n) / reference_shape
-        };
-        local + repartition + broadcast
+        local + repartition + self.broadcast_term(Self::broadcast_shape(n))
     }
 
     /// The response-time floor as the cluster grows without bound: the
     /// network-bound fractions never shrink.
+    ///
+    /// Computed as the exact closed-form limit of
+    /// [`relative_response_time`](Self::relative_response_time): the local
+    /// term vanishes, the repartition term is constant, and the broadcast
+    /// shape `(n-1)/n` tends to 1, leaving
+    /// `repartition + broadcast / shape(reference)`.
     pub fn scaling_floor(&self) -> f64 {
-        self.relative_response_time(usize::MAX / 2)
+        // lim_{n→∞} broadcast_shape(n) = 1.
+        self.profile.repartition_fraction + self.broadcast_term(1.0)
     }
 }
 
@@ -74,7 +94,9 @@ mod tests {
         let t16 = model.relative_response_time(16);
         assert!((t8 - 1.0).abs() < 1e-12);
         assert!((t16 - 0.5).abs() < 1e-12);
-        assert!(model.scaling_floor() < 1e-6);
+        // A perfectly local query has no network-bound work at all: its
+        // closed-form floor is exactly zero, not merely small.
+        assert_eq!(model.scaling_floor(), 0.0);
     }
 
     #[test]
@@ -84,9 +106,40 @@ mod tests {
         let model = BehaviouralModel::from_paper(QueryProfile::paper(QueryId::Q12));
         let t16 = model.relative_response_time(16);
         assert!((t16 - (0.52 / 2.0 + 0.48)).abs() < 1e-12);
-        assert!((model.scaling_floor() - 0.48).abs() < 1e-9);
+        // The closed-form floor is the repartition fraction itself — exactly
+        // 0.48, with no float-rounding slack (the old implementation
+        // evaluated the model at `usize::MAX / 2` and leaned on rounding).
+        assert_eq!(model.scaling_floor(), 0.48);
         // Shrinking the cluster slows the query down.
         assert!(model.relative_response_time(4) > 1.0);
+    }
+
+    #[test]
+    fn broadcast_fractions_raise_the_floor_above_the_repartition_share() {
+        // A synthetic profile with broadcast work: at the 8-node reference the
+        // broadcast shape is 7/8, and as n → ∞ the shape tends to 1, so the
+        // floor is repartition + broadcast · 8/7 — *above* the naive
+        // repartition + broadcast sum.
+        let mut profile = QueryProfile::paper(QueryId::Q12);
+        profile.local_fraction = 0.45;
+        profile.repartition_fraction = 0.35;
+        profile.broadcast_fraction = 0.20;
+        let model = BehaviouralModel::from_paper(profile.clone());
+        let floor = model.scaling_floor();
+        assert!((floor - (0.35 + 0.20 * 8.0 / 7.0)).abs() < 1e-12);
+        // The finite-n model approaches the closed form from above (the
+        // vanishing local term dominates the broadcast-shape deficit here).
+        let near = model.relative_response_time(1_000_000);
+        assert!(near > floor);
+        assert!((near - floor) < 1e-4);
+
+        // Degenerate single-node reference: the broadcast term is carried
+        // through unscaled, in both the model and its limit.
+        let single = BehaviouralModel {
+            profile,
+            reference_nodes: 1,
+        };
+        assert!((single.scaling_floor() - (0.35 + 0.20)).abs() < 1e-12);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! | [`storage`] | `eedc-storage` | columnar tables, partitioning, scans |
 //! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles |
 //! | [`pstore`] | `eedc-pstore` | operators, cluster runtime, concurrency, microbench |
-//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS scaling models (skeleton) |
-//! | [`model`] | `eedc-core` | analytical design model parameters (skeleton) |
+//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS scaling models |
+//! | [`model`] | `eedc-core` | Section 5.4 analytical design model + Section 6 design-space advisor |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,5 +50,27 @@ mod tests {
             .unwrap();
         assert!(execution.output_rows > 0);
         assert!(execution.measurement().edp() > 0.0);
+    }
+
+    #[test]
+    fn advisor_is_reachable_through_the_umbrella() {
+        // Second smoke: the analytical layer, end to end — enumerate a small
+        // design grid and recommend a design for a performance floor.
+        let advisor = crate::model::DesignAdvisor::new(
+            crate::model::AnalyticalModel::section_5_4(
+                crate::pstore::JoinQuerySpec::q3_dual_shuffle(),
+            )
+            .unwrap(),
+            crate::pstore::JoinStrategy::DualShuffle,
+        );
+        let space = crate::model::DesignSpace::new(
+            crate::simkit::catalog::cluster_v_node(),
+            crate::simkit::catalog::laptop_b(),
+            4,
+            4,
+        )
+        .unwrap();
+        let pick = advisor.recommend(&space, 0.5).unwrap().unwrap();
+        assert!(pick.point.performance >= 0.5);
     }
 }

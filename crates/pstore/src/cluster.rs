@@ -123,16 +123,16 @@ impl ClusterSpec {
             .collect()
     }
 
-    /// Human-readable label in the paper's convention: `"8N"` for a uniform
-    /// cluster, `"2B,2W"` for a mixed one.
+    /// Human-readable label in the `bB,wW` convention of Section 5: `"2B,2W"`
+    /// for a mixed cluster, `"8B,0W"` for all-Beefy, `"0B,8W"` for all-Wimpy.
+    ///
+    /// Uniform clusters deliberately keep an explicit zero count: the earlier
+    /// `"{n}N"` shorthand made an all-Wimpy cluster indistinguishable from an
+    /// all-Beefy one of the same size in advisor output and figure legends.
     pub fn label(&self) -> String {
         let beefy = self.beefy_ids().len();
         let wimpy = self.wimpy_ids().len();
-        if beefy == 0 || wimpy == 0 {
-            format!("{}N", self.nodes.len())
-        } else {
-            format!("{beefy}B,{wimpy}W")
-        }
+        format!("{beefy}B,{wimpy}W")
     }
 }
 
@@ -272,6 +272,43 @@ impl PStoreCluster {
     /// Nominal-scale bytes modeled per engine-scale byte moved.
     pub fn scale_ratio(&self) -> f64 {
         self.scale_ratio
+    }
+
+    /// Total build-side (ORDERS) bytes at the nominal scale — the working-set
+    /// size the time/energy models see. Derived from the engine-scale table
+    /// actually materialised, so an analytical model fed this value predicts
+    /// over exactly the volumes the runtime moves.
+    pub fn nominal_build_bytes(&self) -> Megabytes {
+        self.orders.byte_size() * self.scale_ratio
+    }
+
+    /// Total probe-side (LINEITEM) bytes at the nominal scale.
+    pub fn nominal_probe_bytes(&self) -> Megabytes {
+        self.lineitem.byte_size() * self.scale_ratio
+    }
+
+    /// Nominal-scale bytes of the build side that qualify under the query's
+    /// predicate. The engine-scale predicate cutoffs quantize the requested
+    /// selectivity, so this *realized* volume (not `selectivity ×
+    /// total bytes`) is what the runtime actually moves and hashes.
+    pub fn nominal_qualifying_build_bytes(
+        &self,
+        query: &JoinQuerySpec,
+    ) -> Result<Megabytes, PStoreError> {
+        validate_query(query)?;
+        let result = scan(&self.orders, &self.build_predicate(query), None)?;
+        Ok(result.output.byte_size() * self.scale_ratio)
+    }
+
+    /// Nominal-scale bytes of the probe side that qualify under the query's
+    /// predicate.
+    pub fn nominal_qualifying_probe_bytes(
+        &self,
+        query: &JoinQuerySpec,
+    ) -> Result<Megabytes, PStoreError> {
+        validate_query(query)?;
+        let result = scan(&self.lineitem, &self.probe_predicate(query), None)?;
+        Ok(result.output.byte_size() * self.scale_ratio)
     }
 
     fn build_predicate(&self, query: &JoinQuerySpec) -> Predicate {
@@ -440,44 +477,15 @@ impl PStoreCluster {
         qualifying_build_nominal: Megabytes,
         concurrency: usize,
     ) -> Result<(ExecutionMode, Vec<NodeId>), PStoreError> {
-        let nodes = self.spec.nodes();
-        let all: Vec<NodeId> = (0..nodes.len()).collect();
         // Concurrent queries each build their own table.
         let total_ht =
             qualifying_build_nominal * self.options.hash_table_expansion * concurrency as f64;
-        let per_destination = |destinations: &[NodeId]| match strategy {
-            // Broadcast puts the whole table on every destination.
-            JoinStrategy::Broadcast => total_ht,
-            // Shuffled / co-partitioned tables split across destinations.
-            JoinStrategy::DualShuffle | JoinStrategy::PrePartitioned => {
-                total_ht / destinations.len() as f64
-            }
-        };
-        let fits = |destinations: &[NodeId]| {
-            let ht = per_destination(destinations);
-            destinations
-                .iter()
-                .all(|&id| nodes[id].fits_hash_table(ht, self.options.hash_table_headroom))
-        };
-
-        if fits(&all) {
-            return Ok((ExecutionMode::Homogeneous, all));
-        }
-        if strategy == JoinStrategy::PrePartitioned {
-            return Err(PStoreError::planning(format!(
-                "hash table of {:.0} does not fit the cluster and pre-partitioned data cannot be re-routed",
-                per_destination(&all)
-            )));
-        }
-        let beefy = self.spec.beefy_ids();
-        if !beefy.is_empty() && beefy.len() < nodes.len() && fits(&beefy) {
-            return Ok((ExecutionMode::Heterogeneous, beefy));
-        }
-        Err(PStoreError::planning(format!(
-            "build-side hash table ({:.0} total) does not fit any execution mode on cluster {}",
+        select_execution_mode(
+            self.spec.nodes(),
+            strategy,
             total_ht,
-            self.spec.label()
-        )))
+            self.options.hash_table_headroom,
+        )
     }
 
     /// Replicate a per-query engine-scale flow set into `concurrency` groups
@@ -572,6 +580,70 @@ impl PStoreCluster {
     }
 }
 
+/// The Section 5.2 execution-mode selection rule as a pure function over the
+/// node specs, shared by the runtime above and by the closed-form analytical
+/// model in `eedc-core` (which must select modes exactly as the runtime does
+/// for its predictions to be comparable).
+///
+/// `total_hash_table` is the full build-side hash-table footprint across all
+/// concurrent queries (qualifying bytes × expansion × concurrency). The per
+/// destination share depends on the strategy: a broadcast replicates the whole
+/// table onto every destination, while shuffled or co-partitioned tables split
+/// across them. If the table fits every node, execution is homogeneous;
+/// otherwise the Wimpy nodes are demoted and the Beefy subset must hold it —
+/// for *both* repartitioning strategies, not just broadcast.
+pub fn select_execution_mode(
+    nodes: &[NodeSpec],
+    strategy: JoinStrategy,
+    total_hash_table: Megabytes,
+    headroom: f64,
+) -> Result<(ExecutionMode, Vec<NodeId>), PStoreError> {
+    if nodes.is_empty() {
+        return Err(PStoreError::planning(
+            "mode selection needs at least one node",
+        ));
+    }
+    let all: Vec<NodeId> = (0..nodes.len()).collect();
+    let per_destination = |destinations: &[NodeId]| match strategy {
+        // Broadcast puts the whole table on every destination.
+        JoinStrategy::Broadcast => total_hash_table,
+        // Shuffled / co-partitioned tables split across destinations.
+        JoinStrategy::DualShuffle | JoinStrategy::PrePartitioned => {
+            total_hash_table / destinations.len() as f64
+        }
+    };
+    let fits = |destinations: &[NodeId]| {
+        let ht = per_destination(destinations);
+        destinations
+            .iter()
+            .all(|&id| nodes[id].fits_hash_table(ht, headroom))
+    };
+
+    if fits(&all) {
+        return Ok((ExecutionMode::Homogeneous, all));
+    }
+    if strategy == JoinStrategy::PrePartitioned {
+        return Err(PStoreError::planning(format!(
+            "hash table of {:.0} does not fit the cluster and pre-partitioned data cannot be re-routed",
+            per_destination(&all)
+        )));
+    }
+    let beefy: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|&id| nodes[id].is_beefy())
+        .collect();
+    if !beefy.is_empty() && beefy.len() < nodes.len() && fits(&beefy) {
+        return Ok((ExecutionMode::Heterogeneous, beefy));
+    }
+    let wimpy = nodes.len() - beefy.len();
+    Err(PStoreError::planning(format!(
+        "build-side hash table ({:.0} total) does not fit any execution mode on a cluster of {} Beefy / {wimpy} Wimpy nodes",
+        total_hash_table,
+        beefy.len(),
+    )))
+}
+
 fn validate_query(query: &JoinQuerySpec) -> Result<(), PStoreError> {
     for (label, s) in [
         ("build", query.build_selectivity),
@@ -608,13 +680,25 @@ mod tests {
     #[test]
     fn cluster_spec_labels_follow_paper_convention() {
         let uniform = ClusterSpec::homogeneous(cluster_v_node(), 8).unwrap();
-        assert_eq!(uniform.label(), "8N");
+        assert_eq!(uniform.label(), "8B,0W");
         assert_eq!(uniform.len(), 8);
         let mixed = ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 6).unwrap();
         assert_eq!(mixed.label(), "2B,6W");
         assert_eq!(mixed.beefy_ids(), vec![0, 1]);
         assert_eq!(mixed.wimpy_ids(), vec![2, 3, 4, 5, 6, 7]);
         assert!(ClusterSpec::from_nodes(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn uniform_labels_distinguish_the_design_families() {
+        // The regression this guards: all-Wimpy used to be labeled "{n}N",
+        // exactly like all-Beefy, so a 4-laptop cluster and a 4-server
+        // cluster were indistinguishable in advisor output and figures.
+        let all_beefy = ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap();
+        let all_wimpy = ClusterSpec::homogeneous(laptop_b(), 4).unwrap();
+        assert_eq!(all_beefy.label(), "4B,0W");
+        assert_eq!(all_wimpy.label(), "0B,4W");
+        assert_ne!(all_beefy.label(), all_wimpy.label());
     }
 
     #[test]
@@ -649,7 +733,7 @@ mod tests {
         assert!(reference > 0);
         assert_eq!(execution.output_rows, reference);
         assert_eq!(execution.mode, ExecutionMode::Homogeneous);
-        assert_eq!(execution.cluster_label, "4N");
+        assert_eq!(execution.cluster_label, "4B,0W");
         assert!(execution.response_time().value() > 0.0);
     }
 
@@ -707,6 +791,44 @@ mod tests {
             .run(&query, JoinStrategy::Broadcast)
             .unwrap();
         assert_eq!(small.mode, ExecutionMode::Homogeneous);
+    }
+
+    #[test]
+    fn oversized_hash_table_demotes_wimpy_nodes_under_dual_shuffle() {
+        // The demotion rule is not broadcast-specific. Under DualShuffle the
+        // hash table splits across the destinations, so on 2 Beefy + 2 Wimpy
+        // nodes a ~30 GB table is ~7.5 GB per node — over the 8 GB Wimpy
+        // laptops' usable memory (20% headroom → 6.4 GB) but fine for the two
+        // 48 GB Beefy nodes at ~15 GB each. The Wimpy nodes must be demoted
+        // to scan-and-filter producers and the join must still be exact.
+        let spec = ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 2).unwrap();
+        let options = RunOptions {
+            nominal_scale: ScaleFactor::SF1000,
+            ..RunOptions::default()
+        };
+        let cluster = PStoreCluster::load(spec, options).unwrap();
+        let query = JoinQuerySpec::new(0.5, 0.05);
+        let execution = cluster.run(&query, JoinStrategy::DualShuffle).unwrap();
+        assert_eq!(execution.mode, ExecutionMode::Heterogeneous);
+        // Both phases shuffle into the Beefy subset only, so both cross the
+        // network.
+        for phase in &execution.phases {
+            assert!(
+                phase.network_time.value() > 0.0,
+                "{} phase network time is zero",
+                phase.label
+            );
+        }
+        assert_eq!(
+            execution.output_rows,
+            cluster.reference_join_rows(&query).unwrap()
+        );
+        // The same cluster under the same query stays heterogeneous for
+        // broadcast too (the existing demotion path), and the two modes agree
+        // on cardinality.
+        let broadcast = cluster.run(&query, JoinStrategy::Broadcast).unwrap();
+        assert_eq!(broadcast.mode, ExecutionMode::Heterogeneous);
+        assert_eq!(broadcast.output_rows, execution.output_rows);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod op;
 pub mod plan;
 pub mod stats;
 
-pub use cluster::{ClusterSpec, PStoreCluster, RunOptions};
+pub use cluster::{select_execution_mode, ClusterSpec, PStoreCluster, RunOptions};
 pub use error::PStoreError;
 pub use microbench::{single_node_hash_join, MicrobenchResult};
 pub use plan::{JoinQuerySpec, JoinStrategy};

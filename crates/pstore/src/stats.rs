@@ -97,7 +97,7 @@ impl PhaseStats {
 /// queries) on a P-store cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryExecution {
-    /// Human-readable cluster label (e.g. `"8N"`, `"2B,2W"`).
+    /// Human-readable cluster label (e.g. `"8B,0W"`, `"2B,2W"`).
     pub cluster_label: String,
     /// The join strategy that was executed.
     pub strategy: JoinStrategy,
@@ -173,7 +173,7 @@ mod tests {
 
     fn execution() -> QueryExecution {
         QueryExecution {
-            cluster_label: "8N".into(),
+            cluster_label: "8B,0W".into(),
             strategy: JoinStrategy::DualShuffle,
             mode: ExecutionMode::Homogeneous,
             concurrency: 1,

@@ -79,7 +79,7 @@ fn executions_report_complete_phase_breakdowns() {
     assert_eq!(execution.phases.len(), 2);
     assert!(execution.phase("build").is_some());
     assert!(execution.phase("probe").is_some());
-    assert_eq!(execution.cluster_label, "5N");
+    assert_eq!(execution.cluster_label, "5B,0W");
     let total = execution.response_time();
     assert!(
         (total.value()

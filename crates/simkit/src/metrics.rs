@@ -208,7 +208,7 @@ impl EdpLine {
 /// reference configuration — one figure's worth of data.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NormalizedSeries {
-    /// Label of the reference configuration (e.g. `"16N"` or `"8B,0W"`).
+    /// Label of the reference configuration (e.g. `"16B,0W"` or `"2B,2W"`).
     pub reference_label: String,
     /// Labelled points, in the order they were added.
     pub points: Vec<(String, NormalizedPoint)>,
@@ -370,26 +370,85 @@ mod tests {
     fn series_selection_helpers() {
         let reference = measurement(100.0, 10_000.0);
         let series = NormalizedSeries::from_measurements(
-            "16N",
+            "16B,0W",
             reference,
             vec![
-                ("14N".to_string(), measurement(110.0, 9_500.0)),
-                ("12N".to_string(), measurement(125.0, 9_000.0)),
-                ("10N".to_string(), measurement(132.0, 8_400.0)),
-                ("8N".to_string(), measurement(156.0, 8_000.0)),
+                ("14B,0W".to_string(), measurement(110.0, 9_500.0)),
+                ("12B,0W".to_string(), measurement(125.0, 9_000.0)),
+                ("10B,0W".to_string(), measurement(132.0, 8_400.0)),
+                ("8B,0W".to_string(), measurement(156.0, 8_000.0)),
             ],
         )
         .unwrap();
         assert_eq!(series.points().len(), 5);
-        assert_eq!(series.lowest_energy().unwrap().0, "8N");
-        assert_eq!(series.highest_performance().unwrap().0, "16N");
-        // With a 0.75 performance floor, 10N (perf 0.7576) is the most
+        assert_eq!(series.lowest_energy().unwrap().0, "8B,0W");
+        assert_eq!(series.highest_performance().unwrap().0, "16B,0W");
+        // With a 0.75 performance floor, 10 nodes (perf 0.7576) is the most
         // efficient admissible configuration.
-        assert_eq!(series.best_meeting_target(0.75).unwrap().0, "10N");
+        assert_eq!(series.best_meeting_target(0.75).unwrap().0, "10B,0W");
         // An unreachable target returns the reference (perf 1.0) only.
-        assert_eq!(series.best_meeting_target(1.0).unwrap().0, "16N");
+        assert_eq!(series.best_meeting_target(1.0).unwrap().0, "16B,0W");
         // Homogeneous scale-down points sit above the EDP curve.
         assert_eq!(series.below_edp().count(), 0);
+    }
+
+    #[test]
+    fn best_meeting_target_properties_hold_over_random_series() {
+        // Property test over deterministic pseudo-random series: the
+        // selection rule must (a) never return a point below the target and
+        // (b) return a point of minimal energy among the qualifiers; when it
+        // returns nothing, no point may qualify.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next_unit = || {
+            // xorshift64*: cheap, deterministic, no external dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let word = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (word >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..200 {
+            let mut series = NormalizedSeries::with_reference("ref");
+            let points = 1 + (next_unit() * 12.0) as usize;
+            for i in 0..points {
+                series.push(
+                    format!("d{i}"),
+                    NormalizedPoint {
+                        performance: 0.05 + 1.5 * next_unit(),
+                        energy: 0.05 + 1.5 * next_unit(),
+                    },
+                );
+            }
+            let target = 1.6 * next_unit();
+            match series.best_meeting_target(target) {
+                Some((label, pick)) => {
+                    assert!(
+                        pick.performance + EDP_EPSILON >= target,
+                        "trial {trial}: pick {label} perf {} below target {target}",
+                        pick.performance
+                    );
+                    for (other, point) in series.points() {
+                        if point.performance + EDP_EPSILON >= target {
+                            assert!(
+                                pick.energy <= point.energy,
+                                "trial {trial}: {other} (energy {}) beats pick {label} ({})",
+                                point.energy,
+                                pick.energy
+                            );
+                        }
+                    }
+                }
+                None => {
+                    assert!(
+                        series
+                            .points()
+                            .iter()
+                            .all(|(_, p)| p.performance + EDP_EPSILON < target),
+                        "trial {trial}: a qualifying point was skipped"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,19 @@ use serde::{Deserialize, Serialize};
 pub struct ZipfKeys {
     n: u64,
     theta: f64,
-    /// Cumulative probabilities for the first `PREFIX` ranks; the tail is
-    /// approximated by the continuous integral, which keeps construction O(1)
-    /// in the domain size while staying accurate for the skewed head.
+    /// Total probability mass `H(n, theta)`, the generalized harmonic number
+    /// normalizing every rank probability.
     harmonic: f64,
+    /// Cumulative mass `H(k, theta)` for the first `min(n, EXACT_LIMIT)`
+    /// ranks, precomputed at construction. A draw bisects this table in
+    /// O(log EXACT_LIMIT) and falls through to the closed-form tail
+    /// inversion beyond it — the old implementation re-summed an up-to-10
+    /// 000-term harmonic series at *every* bisection step, making each draw
+    /// O(n log n). Fully derived from `(n, theta)`, so it is skipped during
+    /// serialization and rebuilt lazily on the first draw after
+    /// deserialization.
+    #[serde(skip)]
+    cumulative_head: Vec<f64>,
     #[serde(skip, default = "default_rng")]
     rng: SmallRng,
 }
@@ -43,11 +52,20 @@ impl ZipfKeys {
     pub fn new(n: u64, theta: f64, seed: u64) -> Self {
         let n = n.max(1);
         let theta = theta.clamp(0.0, 5.0);
-        let harmonic = generalized_harmonic(n, theta);
+        let cumulative_head = head_table(n, theta);
+        let head_mass = *cumulative_head
+            .last()
+            .expect("domains have at least one rank");
+        let harmonic = if n <= EXACT_LIMIT {
+            head_mass
+        } else {
+            head_mass + tail_mass(EXACT_LIMIT, n, theta)
+        };
         Self {
             n,
             theta,
             harmonic,
+            cumulative_head,
             rng: SmallRng::seed_from_u64(seed ^ 0x51CE_F00D),
         }
     }
@@ -71,23 +89,43 @@ impl ZipfKeys {
     }
 
     /// Draw the next key (1-based, rank order: key `k` has rank `k`).
+    ///
+    /// Inverse-CDF sampling: targets landing in the precomputed head table
+    /// are resolved by bisection over it; targets beyond the head invert the
+    /// continuous tail integral in closed form. Either way a draw costs
+    /// O(log EXACT_LIMIT), independent of the domain size.
     pub fn next_key(&mut self) -> u64 {
-        // Inverse-CDF sampling by bisection over ranks. The CDF is evaluated
-        // with the closed-form generalized-harmonic approximation, which is
-        // exact for theta = 0 and accurate to well under 1% otherwise.
+        if self.cumulative_head.is_empty() {
+            // The table is `#[serde(skip)]`ed (it is derived state);
+            // deserialized generators rebuild it on their first draw.
+            self.cumulative_head = head_table(self.n, self.theta);
+        }
         let u: f64 = self.rng.gen_range(0.0..1.0);
         let target = u * self.harmonic;
-        let mut lo = 1u64;
-        let mut hi = self.n;
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if generalized_harmonic(mid, self.theta) < target {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
+        let head_mass = *self
+            .cumulative_head
+            .last()
+            .expect("head table has at least one rank");
+        if target <= head_mass {
+            // Smallest rank whose cumulative mass reaches the target.
+            let idx = self.cumulative_head.partition_point(|&c| c < target);
+            return (idx as u64 + 1).min(self.n);
         }
-        lo
+        // Invert `head_mass + tail_mass(EXACT_LIMIT, k) = target` for k. The
+        // tail integral is strictly increasing in k, so the smallest integer
+        // rank covering the target is the ceiling of the continuous solution.
+        let excess = target - head_mass;
+        let limit = EXACT_LIMIT as f64;
+        let k = if (self.theta - 1.0).abs() < 1e-9 {
+            limit * excess.exp()
+        } else {
+            let base = excess * (1.0 - self.theta) + limit.powf(1.0 - self.theta);
+            if base <= 0.0 {
+                return self.n;
+            }
+            base.powf(1.0 / (1.0 - self.theta))
+        };
+        (k.ceil() as u64).clamp(EXACT_LIMIT + 1, self.n)
     }
 
     /// Generate `count` keys.
@@ -114,21 +152,33 @@ impl ZipfKeys {
     }
 }
 
-/// Generalized harmonic number `H(n, theta) = Σ_{k=1..n} k^-theta`, computed
-/// exactly for small `n` and with the Euler–Maclaurin integral approximation
-/// for large `n` so that construction never scans billion-key domains.
-fn generalized_harmonic(n: u64, theta: f64) -> f64 {
-    const EXACT_LIMIT: u64 = 10_000;
-    if n <= EXACT_LIMIT {
-        return (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+/// Number of head ranks whose probability mass is summed (and tabulated)
+/// exactly; the tail beyond it uses the Euler–Maclaurin integral
+/// approximation so that construction never scans billion-key domains.
+const EXACT_LIMIT: u64 = 10_000;
+
+/// Cumulative mass table `H(k, theta)` for ranks `k = 1..=min(n,
+/// EXACT_LIMIT)`.
+fn head_table(n: u64, theta: f64) -> Vec<f64> {
+    let head_len = n.min(EXACT_LIMIT) as usize;
+    let mut table = Vec::with_capacity(head_len);
+    let mut running = 0.0;
+    for k in 1..=head_len as u64 {
+        running += (k as f64).powf(-theta);
+        table.push(running);
     }
-    let head: f64 = (1..=EXACT_LIMIT).map(|k| (k as f64).powf(-theta)).sum();
-    let tail = if (theta - 1.0).abs() < 1e-9 {
-        (n as f64 / EXACT_LIMIT as f64).ln()
+    table
+}
+
+/// Integral approximation of the probability mass of ranks in `(from, to]`:
+/// `∫ x^-theta dx` over that interval. Strictly increasing in `to`, which is
+/// what lets `next_key` invert it in closed form.
+fn tail_mass(from: u64, to: u64, theta: f64) -> f64 {
+    if (theta - 1.0).abs() < 1e-9 {
+        (to as f64 / from as f64).ln()
     } else {
-        ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta)) / (1.0 - theta)
-    };
-    head + tail
+        ((to as f64).powf(1.0 - theta) - (from as f64).powf(1.0 - theta)) / (1.0 - theta)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +256,53 @@ mod tests {
         let gen_uniform = ZipfKeys::new(1_000_000_000, 0.0, 5);
         let p = gen_uniform.probability_of_rank(123_456_789);
         assert!((p - 1e-9).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bulk_draws_over_huge_domains_are_cheap() {
+        // 50k draws over a billion-key domain: each draw must be O(log) in
+        // the head-table size — the old implementation re-summed a 10,000
+        // term harmonic series per bisection step, which would take hours
+        // here. The draws must also actually exercise the closed-form tail
+        // inversion (ranks beyond the tabulated head).
+        let mut gen = ZipfKeys::new(1_000_000_000, 0.9, 13);
+        let keys = gen.take_keys(50_000);
+        assert_eq!(keys.len(), 50_000);
+        assert!(keys.iter().all(|&k| (1..=1_000_000_000).contains(&k)));
+        let beyond_head = keys.iter().filter(|&&k| k > 10_000).count();
+        assert!(beyond_head > 0, "no draw ever landed in the tail");
+        // The skew concentrates vastly more mass on the 10k-rank head than
+        // the uniform expectation of 10_000/10^9 = 0.001% of draws.
+        let head = keys.iter().filter(|&&k| k <= 10_000).count();
+        assert!(head > keys.len() / 10, "head draws {head}");
+        // Determinism is preserved across the fast path.
+        assert_eq!(
+            ZipfKeys::new(1_000_000_000, 0.9, 13).take_keys(100),
+            keys[..100]
+        );
+    }
+
+    #[test]
+    fn tail_inversion_matches_the_tabulated_distribution_shape() {
+        // theta = 1 exercises the logarithmic branch of the tail inversion.
+        let mut gen = ZipfKeys::new(10_000_000, 1.0, 21);
+        let keys = gen.take_keys(30_000);
+        let head = keys.iter().filter(|&&k| k <= 10_000).count() as f64 / keys.len() as f64;
+        // With theta = 1, mass of the first 10k ranks ≈ H(10k)/H(10M) ≈
+        // ln(10^4)/ln(10^7) ≈ 0.57.
+        assert!((head - 0.57).abs() < 0.05, "head fraction {head}");
+        assert!(keys.iter().all(|&k| (1..=10_000_000).contains(&k)));
+    }
+
+    #[test]
+    fn deserialized_generators_rebuild_the_head_table() {
+        let mut fresh = ZipfKeys::new(1000, 0.8, 5);
+        let expected = fresh.take_keys(50);
+        let mut thawed = ZipfKeys::new(1000, 0.8, 5);
+        // A serde round-trip leaves the skipped derived table empty; draws
+        // must rebuild it instead of panicking, with identical output.
+        thawed.cumulative_head.clear();
+        assert_eq!(thawed.take_keys(50), expected);
     }
 
     #[test]

@@ -1,34 +1,55 @@
-//! Design-advisor sketch (Section 6): among a family of cluster designs,
-//! pick the most energy-efficient one that still meets a performance target.
-//! The full analytical advisor lives in `eedc-core` (open item); this
-//! example drives the selection rule with measured runtime points.
+//! The Section 6 design advisor over the Section 5.4 analytical model:
+//! enumerate every `(b Beefy, w Wimpy)` cluster design, predict its response
+//! time and energy for the 700 GB ⋈ 2.8 TB sweep join in closed form,
+//! normalize against the all-Beefy reference, and pick the most
+//! energy-efficient design meeting each performance target.
+//!
+//! ```sh
+//! cargo run --release --example design_advisor
+//! ```
 
-use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
-use eedc::simkit::catalog::cluster_v_node;
-use eedc::simkit::metrics::NormalizedSeries;
+use eedc::model::{AnalyticalModel, DesignAdvisor, DesignSpace};
+use eedc::pstore::{JoinQuerySpec, JoinStrategy};
+use eedc::simkit::catalog::{cluster_v_node, laptop_b};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let query = JoinQuerySpec::q3_dual_shuffle();
-    let mut measurements = Vec::new();
-    for nodes in [16usize, 12, 10, 8, 6, 4] {
-        let spec = ClusterSpec::homogeneous(cluster_v_node(), nodes)?;
-        let cluster = PStoreCluster::load(spec, RunOptions::default())?;
-        let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
-        measurements.push((execution.cluster_label.clone(), execution.measurement()));
+    // The paper's Q3-style sweep join (5% predicates on both inputs) over a
+    // grid of up to 8 Cluster-V "Beefy" servers and 16 Laptop-B "Wimpy"
+    // nodes, executed with the dual-shuffle repartitioning plan.
+    let model = AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle())?;
+    let advisor = DesignAdvisor::new(model, JoinStrategy::DualShuffle);
+    let space = DesignSpace::new(cluster_v_node(), laptop_b(), 8, 16)?;
+
+    let report = advisor.evaluate(&space)?;
+    println!(
+        "evaluated {} designs: {} feasible, {} infeasible (hash table fits no mode)",
+        space.len(),
+        report.series.points().len(),
+        report.infeasible.len(),
+    );
+    println!(
+        "normalized against {} (all-Beefy reference)",
+        report.series.reference_label
+    );
+
+    // A few representative rows of the design space.
+    for label in ["8B,0W", "8B,8W", "4B,8W", "2B,16W", "1B,16W"] {
+        if let (Some(prediction), Some(point)) = (report.prediction(label), report.point(label)) {
+            println!(
+                "  {label:>7} [{} execution]: {:.1} s, {:.1} kJ — {point}",
+                prediction.mode,
+                prediction.response_time().value(),
+                prediction.energy().as_kilojoules(),
+            );
+        } else {
+            println!("  {label:>7}: infeasible");
+        }
     }
 
-    let reference = measurements[0].1;
-    let series = NormalizedSeries::from_measurements(
-        measurements[0].0.clone(),
-        reference,
-        measurements[1..].iter().cloned(),
-    )?;
-
+    // The Section 6 selection rule for a range of performance floors.
     for target in [0.9, 0.75, 0.5] {
-        match series.best_meeting_target(target) {
-            Some((label, point)) => {
-                println!("target perf >= {target:.2}: pick {label} ({point})")
-            }
+        match report.recommend(target) {
+            Some(pick) => println!("target perf >= {target:.2}: pick {pick}"),
             None => println!("target perf >= {target:.2}: no design qualifies"),
         }
     }
