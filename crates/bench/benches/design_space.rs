@@ -1,7 +1,8 @@
 //! Design-space enumeration benchmark: time the Section 6 advisor sweeping
-//! the `(b Beefy, w Wimpy)` grid with the Section 5.4 closed-form model.
+//! the `(b Beefy, w Wimpy)` grid with the Section 5.4 closed-form model
+//! through the estimator-agnostic experiment API.
 //!
-//! The sweep is the advisor's hot loop — one `predict` per design — so this
+//! The sweep is the advisor's hot loop — one estimate per design — so this
 //! reports designs/second at several grid sizes, plus the recommendation at
 //! the paper's performance targets as a correctness spot-check.
 //!
@@ -9,18 +10,14 @@
 //! cargo bench -p eedc-bench --bench design_space
 //! ```
 
-use eedc_core::model::AnalyticalModel;
-use eedc_core::{DesignAdvisor, DesignSpace};
-use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+use eedc_core::{Analytical, DesignAdvisor, DesignSpace, SweepJoin};
+use eedc_pstore::JoinQuerySpec;
 use eedc_simkit::catalog::{cluster_v_node, laptop_b};
 use std::time::Instant;
 
 fn main() {
-    let advisor = DesignAdvisor::new(
-        AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle())
-            .expect("the paper's Q3 selectivities are valid"),
-        JoinStrategy::DualShuffle,
-    );
+    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+    let advisor = DesignAdvisor::new(Analytical, &workload);
 
     println!("design_space: (b Beefy, w Wimpy) grid sweep, dual-shuffle Q3 over 700 GB ⋈ 2.8 TB");
     for (max_beefy, max_wimpy) in [(8usize, 16usize), (16, 32), (32, 64)] {

@@ -1,34 +1,103 @@
-//! Regenerate the paper's headline numbers as a text report: the Figure 5
-//! strategy comparison and the Figure 6 single-node sweep.
+//! Regenerate the paper's headline numbers as a text report and land the
+//! underlying `RunRecord` series on disk as JSON for the figures pipeline:
+//! the Figure 5 strategy comparison, a design-space sweep under all three
+//! estimator lenses (measured / analytical / behavioural), and the Figure 6
+//! single-node sweep.
+//!
+//! ```sh
+//! cargo run --release -p eedc-bench --bin figures [output-dir]
+//! ```
+//!
+//! JSON series are written to `output-dir` (default `figures-data/`).
 
-use eedc_bench::bench_cluster;
+use eedc_core::{Analytical, Behavioural, Experiment, Measured, SweepJoin};
 use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
-use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, RunOptions};
+use eedc_simkit::catalog::cluster_v_node;
 use eedc_simkit::HardwareCatalog;
+use eedc_tpch::ScaleFactor;
+use std::path::PathBuf;
+
+fn bench_options() -> RunOptions {
+    RunOptions {
+        engine_scale: ScaleFactor(0.002),
+        ..RunOptions::default()
+    }
+}
 
 fn main() {
-    let cluster = bench_cluster(8);
-    let query = JoinQuerySpec::q3_dual_shuffle();
-    println!(
-        "== Figure 5: join strategies on {} ({}) ==",
-        cluster.spec().label(),
-        query.label()
-    );
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("figures-data"), PathBuf::from);
+    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+
+    // ---- Figure 5: the three join strategies on eight Cluster-V nodes.
+    println!("== Figure 5: join strategies on 8B,0W (O5%/L5%) ==");
     for strategy in JoinStrategy::ALL {
-        match cluster.run(&query, strategy) {
-            Ok(execution) => {
-                let m = execution.measurement();
+        let result = Experiment::new(&workload)
+            .strategy(strategy)
+            .design(ClusterSpec::homogeneous(cluster_v_node(), 8).expect("spec is valid"))
+            .estimator(Measured::new(bench_options()))
+            .run();
+        match result {
+            Ok(report) => {
+                let record = &report.series[0].records[0];
                 println!(
                     "{strategy:>15}: {:.1} s, {:.1} kJ, {:.0} MB over network",
-                    m.response_time.value(),
-                    m.energy.as_kilojoules(),
-                    execution.bytes_over_network().value(),
+                    record.response_time.value(),
+                    record.energy.as_kilojoules(),
+                    record
+                        .phases
+                        .iter()
+                        .map(|p| p.bytes_over_network.value())
+                        .sum::<f64>(),
                 );
+                let path = out_dir.join(format!("figure5_{strategy}.json"));
+                match report.write_json(&path) {
+                    Ok(()) => println!("{:>15}  -> {}", "", path.display()),
+                    Err(err) => println!("{:>15}  !! JSON write failed: {err}", ""),
+                }
             }
             Err(err) => println!("{strategy:>15}: {err}"),
         }
     }
 
+    // ---- The design-space sweep, one Experiment invocation, all three
+    // estimator lenses over the same designs.
+    println!();
+    println!("== Design-space sweep: measured vs analytical vs behavioural ==");
+    let designs = [16usize, 8, 4]
+        .map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).expect("spec is valid"));
+    match Experiment::new(&workload)
+        .designs(designs)
+        .estimator(Measured::new(bench_options()))
+        .estimator(Analytical)
+        .estimator(Behavioural::default())
+        .run()
+    {
+        Ok(report) => {
+            for series in &report.series {
+                print!("{:>12}:", series.estimator);
+                for record in &series.records {
+                    let point = record.normalized.expect("records are normalized");
+                    print!(
+                        "  {} perf {:.2}/energy {:.2}",
+                        record.design, point.performance, point.energy
+                    );
+                }
+                println!();
+            }
+            let path = out_dir.join("design_space.json");
+            match report.write_json(&path) {
+                Ok(()) => println!("  -> {}", path.display()),
+                Err(err) => println!("  !! JSON write failed: {err}"),
+            }
+        }
+        Err(err) => println!("sweep failed: {err}"),
+    }
+
+    // ---- Figure 6: the single-node microbenchmark (not a cluster workload;
+    // stays on its dedicated path).
     println!();
     println!("== Figure 6: single-node hash join (10 MB x 2 GB) ==");
     let catalog = HardwareCatalog::paper();

@@ -1,23 +1,28 @@
 //! The Section 6 design-space advisor.
 //!
 //! The paper's selection rule: enumerate every `(b Beefy, w Wimpy)` cluster
-//! design, predict each one's response time and energy with the Section 5.4
-//! analytical model, normalize the predictions against the all-Beefy
-//! reference design, and pick the design with the lowest energy among those
-//! that still meet a performance floor ("the most energy-efficient
-//! configuration that satisfies the performance target").
+//! design, evaluate each one's response time and energy, normalize against
+//! the all-Beefy reference design, and pick the design with the lowest
+//! energy among those that still meet a performance floor ("the most
+//! energy-efficient configuration that satisfies the performance target").
 //!
-//! Designs whose build-side hash table fits no execution mode are reported as
-//! *infeasible* rather than silently dropped, so a sweep over a large grid
-//! still accounts for every point.
+//! The advisor ranks designs through *any* [`Estimator`] — the closed-form
+//! Section 5.4 model for instant sweeps, the measured P-store runtime when
+//! ground truth is worth the cost, or the behavioural law for first-order
+//! what-ifs — so the selection rule is independent of the evaluation lens.
+//!
+//! Designs whose build-side hash table fits no execution mode are reported
+//! as *infeasible* rather than silently dropped, so a sweep over a large
+//! grid still accounts for every point.
 
 use crate::error::CoreError;
-use crate::model::{AnalyticalModel, ModelPrediction};
+use crate::experiment::{Analytical, Estimator, RunRecord};
+use crate::model::AnalyticalModel;
+use crate::workload::{Workload, WorkloadPlan};
 use eedc_pstore::stats::ExecutionMode;
 use eedc_pstore::{ClusterSpec, JoinStrategy};
 use eedc_simkit::metrics::{NormalizedPoint, NormalizedSeries};
 use eedc_simkit::NodeSpec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `(b, w)` grid of candidate cluster designs built from one Beefy and
@@ -106,7 +111,7 @@ impl DesignSpace {
 }
 
 /// A design the advisor recommends for a performance target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// Label of the recommended design (`"2B,2W"` convention).
     pub label: String,
@@ -132,21 +137,18 @@ pub struct DesignSpaceReport {
     /// Normalized (performance, energy) points for every feasible design,
     /// relative to the all-Beefy reference.
     pub series: NormalizedSeries,
-    /// The underlying model predictions, reference first, labelled like the
-    /// series points.
-    pub predictions: Vec<(String, ModelPrediction)>,
-    /// Designs the model refused to plan (hash table fits no execution
+    /// The uniform run records, reference first, labelled like the series
+    /// points.
+    pub records: Vec<RunRecord>,
+    /// Designs the estimator refused to plan (hash table fits no execution
     /// mode), with the planner's reason.
     pub infeasible: Vec<(String, String)>,
 }
 
 impl DesignSpaceReport {
-    /// The prediction for a labelled design, if it was feasible.
-    pub fn prediction(&self, label: &str) -> Option<&ModelPrediction> {
-        self.predictions
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, p)| p)
+    /// The record for a labelled design, if it was feasible.
+    pub fn record(&self, label: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.design == label)
     }
 
     /// The normalized point for a labelled design, if it was feasible.
@@ -163,11 +165,11 @@ impl DesignSpaceReport {
     /// normalized energy.
     pub fn recommend(&self, min_performance: f64) -> Option<Recommendation> {
         let (label, point) = self.series.best_meeting_target(min_performance)?;
-        // Series points and predictions are pushed in lockstep by
+        // Series points and records are pushed in lockstep by
         // `DesignAdvisor::evaluate`.
         let mode = self
-            .prediction(label)
-            .expect("every series point has a prediction")
+            .record(label)
+            .expect("every series point has a record")
             .mode;
         Some(Recommendation {
             label: label.clone(),
@@ -177,61 +179,60 @@ impl DesignSpaceReport {
     }
 }
 
-/// The design-space advisor: an analytical model plus the join strategy the
+/// The design-space advisor: any estimator plus the workload plan the
 /// cluster will run.
-#[derive(Debug, Clone, PartialEq)]
 pub struct DesignAdvisor {
-    model: AnalyticalModel,
-    strategy: JoinStrategy,
+    estimator: Box<dyn Estimator>,
+    plans: Vec<WorkloadPlan>,
 }
 
 impl DesignAdvisor {
-    /// An advisor that evaluates designs under the given model and strategy.
-    pub fn new(model: AnalyticalModel, strategy: JoinStrategy) -> Self {
-        Self { model, strategy }
+    /// An advisor ranking designs under the given estimator — measured,
+    /// analytical, or behavioural.
+    ///
+    /// The advisor evaluates exactly one plan: the workload's *first*. For
+    /// multi-plan workloads (e.g. a [`crate::ConcurrencySweep`]), rank each
+    /// plan with its own advisor, or sweep them all through
+    /// [`crate::Experiment`].
+    pub fn new(estimator: impl Estimator + 'static, workload: &dyn Workload) -> Self {
+        Self {
+            estimator: Box::new(estimator),
+            plans: workload.plans(),
+        }
     }
 
-    /// The model driving the predictions.
-    pub fn model(&self) -> &AnalyticalModel {
-        &self.model
+    /// Convenience: the classic closed-form advisor over an already-built
+    /// analytical model and a join strategy.
+    pub fn analytical(model: AnalyticalModel, strategy: JoinStrategy) -> Self {
+        Self {
+            estimator: Box::new(Analytical),
+            plans: vec![WorkloadPlan::sweep_join(*model.workload(), strategy)],
+        }
     }
 
-    /// Predict every design in `space`, normalize against the all-Beefy
-    /// reference, and report feasible points and infeasible designs.
+    /// The workload plan driving the evaluations (`None` for a degenerate
+    /// workload that yielded no plans — evaluation then errors).
+    pub fn plan(&self) -> Option<&WorkloadPlan> {
+        self.plans.first()
+    }
+
+    /// Evaluate every design in `space` under the estimator, normalize
+    /// against the all-Beefy reference, and report feasible points and
+    /// infeasible designs.
     ///
     /// The reference design itself must be feasible; any other design the
-    /// planner refuses is recorded in
-    /// [`DesignSpaceReport::infeasible`].
+    /// estimator refuses is recorded in [`DesignSpaceReport::infeasible`].
     pub fn evaluate(&self, space: &DesignSpace) -> Result<DesignSpaceReport, CoreError> {
-        let mut designs = space.designs()?.into_iter();
-        let reference = designs
-            .next()
-            .expect("designs() yields the reference first");
-        let reference_label = reference.label();
-        let reference_prediction = self.model.predict(&reference, self.strategy)?;
-        let reference_measurement = reference_prediction.measurement();
-
-        let mut series = NormalizedSeries::with_reference(reference_label.clone());
-        let mut predictions = vec![(reference_label, reference_prediction)];
-        let mut infeasible = Vec::new();
-        for design in designs {
-            let label = design.label();
-            match self.model.predict(&design, self.strategy) {
-                Ok(prediction) => {
-                    let point = prediction
-                        .measurement()
-                        .normalized_against(&reference_measurement)?;
-                    series.push(label.clone(), point);
-                    predictions.push((label, prediction));
-                }
-                Err(CoreError::Runtime(err)) => infeasible.push((label, err.to_string())),
-                Err(err) => return Err(err),
-            }
-        }
+        let plan = self
+            .plans
+            .first()
+            .ok_or_else(|| CoreError::invalid("the advisor's workload yields no plans"))?;
+        let series =
+            crate::experiment::evaluate_series(self.estimator.as_ref(), plan, &space.designs()?)?;
         Ok(DesignSpaceReport {
-            series,
-            predictions,
-            infeasible,
+            series: series.normalized,
+            records: series.records,
+            infeasible: series.infeasible,
         })
     }
 
@@ -250,11 +251,13 @@ impl DesignAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Behavioural;
+    use crate::model::SweepJoin;
     use eedc_pstore::JoinQuerySpec;
     use eedc_simkit::catalog::{cluster_v_node, laptop_b};
 
     fn advisor() -> DesignAdvisor {
-        DesignAdvisor::new(
+        DesignAdvisor::analytical(
             AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle()).unwrap(),
             JoinStrategy::DualShuffle,
         )
@@ -292,7 +295,7 @@ mod tests {
             report.series.points().len() + report.infeasible.len(),
             space.len()
         );
-        assert_eq!(report.predictions.len(), report.series.points().len());
+        assert_eq!(report.records.len(), report.series.points().len());
         // The 70 GB dual-shuffle hash table fits no all-Wimpy design here
         // (17.5 GB+ per 8 GB laptop), so the infeasible list is non-empty.
         assert!(!report.infeasible.is_empty());
@@ -300,9 +303,13 @@ mod tests {
             .infeasible
             .iter()
             .any(|(label, _)| label.starts_with("0B,")));
-        // The reference leads the predictions and sits at (1, 1).
-        assert_eq!(report.predictions[0].0, "4B,0W");
+        // The reference leads the records and sits at (1, 1).
+        assert_eq!(report.records[0].design, "4B,0W");
         assert_eq!(report.series.points()[0].1, NormalizedPoint::reference());
+        assert_eq!(
+            report.records[0].normalized,
+            Some(NormalizedPoint::reference())
+        );
     }
 
     #[test]
@@ -344,5 +351,38 @@ mod tests {
         let via_report = adv.evaluate(&space).unwrap().recommend(0.75);
         assert_eq!(direct, via_report);
         assert!(direct.unwrap().to_string().contains("execution"));
+    }
+
+    #[test]
+    fn empty_workloads_error_instead_of_panicking() {
+        // A degenerate workload with no plans must surface as an error from
+        // evaluation, not a panic in the constructor.
+        let base = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        let empty = crate::ConcurrencySweep::new(base, []);
+        let adv = DesignAdvisor::new(Analytical, &empty);
+        assert!(adv.plan().is_none());
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 2, 2).unwrap();
+        let err = adv.evaluate(&space).unwrap_err();
+        assert!(err.to_string().contains("no plans"), "{err}");
+    }
+
+    #[test]
+    fn advisor_ranks_designs_under_any_estimator() {
+        // The tentpole requirement: the Section 6 selection rule is
+        // estimator-agnostic. Run the same space under the behavioural lens
+        // — a completely different evaluation path — and the report still
+        // accounts for every design and recommends a qualifying one.
+        let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        let adv = DesignAdvisor::new(Behavioural::default(), &workload);
+        assert_eq!(adv.plan().unwrap().strategy, JoinStrategy::DualShuffle);
+        let space = DesignSpace::new(cluster_v_node(), laptop_b(), 4, 2).unwrap();
+        let report = adv.evaluate(&space).unwrap();
+        assert_eq!(
+            report.series.points().len() + report.infeasible.len(),
+            space.len()
+        );
+        let pick = report.recommend(0.75).expect("reference qualifies");
+        assert!(pick.point.performance + 1e-9 >= 0.75);
+        assert_eq!(report.records[0].estimator, "behavioural");
     }
 }

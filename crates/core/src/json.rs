@@ -1,0 +1,257 @@
+//! Minimal JSON emission for the figures pipeline.
+//!
+//! The build environment has no registry access, so the workspace's `serde`
+//! is a no-op stand-in (see `vendor/`); this module is the hand-rolled
+//! writer that lets experiment results survive a run on disk. It emits
+//! standard JSON (RFC 8259): escaped strings, `null` for non-finite
+//! numbers, and deterministic key order (insertion order).
+
+use std::fmt::Write as _;
+
+/// A JSON value tree, built imperatively and rendered to a string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Self {
+        JsonValue::Array(Vec::new())
+    }
+
+    /// Insert a field into an object (panics if `self` is not an object —
+    /// a programming error in the serializer, not a data error).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.into(), value.into())),
+            other => panic!("set() on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Append an element to an array (panics if `self` is not an array).
+    pub fn push(&mut self, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Array(items) => items.push(value.into()),
+            other => panic!("push() on non-array JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Render to a compact single-line JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Render to an indented multi-line JSON string (2-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    // Integral values render without a trailing ".0"; JSON
+                    // has one number type, so this is purely cosmetic.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                render_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].render(out, indent, depth + 1);
+                });
+            }
+            JsonValue::Object(fields) => {
+                render_sequence(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (key, value) = &fields[i];
+                    escape_into(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn render_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.into())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(items: Vec<T>) -> Self {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(value: Option<T>) -> Self {
+        value.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(JsonValue::Null.to_json(), "null");
+        assert_eq!(JsonValue::from(true).to_json(), "true");
+        assert_eq!(JsonValue::from(3.0).to_json(), "3");
+        assert_eq!(JsonValue::from(3.25).to_json(), "3.25");
+        assert_eq!(JsonValue::from(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).to_json(), "null");
+        assert_eq!(JsonValue::from(7usize).to_json(), "7");
+        assert_eq!(JsonValue::from("hi").to_json(), "\"hi\"");
+        assert_eq!(JsonValue::from(None::<f64>).to_json(), "null");
+        assert_eq!(JsonValue::from(Some(2.0)).to_json(), "2");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_json(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let mut obj = JsonValue::object();
+        obj.set("name", "8B,0W").set("time", 12.5);
+        let mut arr = JsonValue::array();
+        arr.push(1.0).push(2.0);
+        obj.set("series", arr);
+        obj.set("empty", JsonValue::array());
+        assert_eq!(
+            obj.to_json(),
+            "{\"name\":\"8B,0W\",\"time\":12.5,\"series\":[1,2],\"empty\":[]}"
+        );
+        let pretty = obj.to_json_pretty();
+        assert!(pretty.contains("\n  \"name\": \"8B,0W\""), "{pretty}");
+        assert!(pretty.ends_with('}'));
+        // Pretty output round-trips the same structure (no trailing commas).
+        assert!(!pretty.contains(",\n}"));
+    }
+
+    #[test]
+    fn vec_conversions_build_arrays() {
+        let v: JsonValue = vec![0.5, 0.25].into();
+        assert_eq!(v.to_json(), "[0.5,0.25]");
+        let v: JsonValue = vec!["a".to_string(), "b".to_string()].into();
+        assert_eq!(v.to_json(), "[\"a\",\"b\"]");
+    }
+
+    #[test]
+    #[should_panic(expected = "set() on non-object")]
+    fn set_on_array_panics() {
+        JsonValue::array().set("k", 1.0);
+    }
+}

@@ -1,34 +1,54 @@
 //! # eedc-core
 //!
-//! The analytical cluster design model of Section 5.4 and the design-space
+//! The experiment API unifying the paper's three evaluation lenses, plus the
+//! analytical cluster design model of Section 5.4 and the design-space
 //! advisor of Section 6.
 //!
+//! * [`workload`] — the [`Workload`] trait and its implementations
+//!   ([`SweepJoin`], [`ConcurrencySweep`], Zipf-skewed [`SkewedJoin`],
+//!   profile-driven [`ProfiledQuery`]): *what* is evaluated.
+//! * [`experiment`] — the [`Estimator`] trait and its three lenses
+//!   ([`Measured`] P-store runs, [`Analytical`] closed-form predictions,
+//!   [`Behavioural`] first-order scaling), the builder-style [`Experiment`]
+//!   runner, and the uniform [`RunRecord`] every lens yields: *how* it is
+//!   evaluated.
 //! * [`model`] — closed-form per-phase response-time and energy predictions
 //!   for any `(b Beefy, w Wimpy)` cluster design running the sweep join
 //!   (700 GB ORDERS ⋈ 2.8 TB LINEITEM in the paper's sweeps): scan rates,
 //!   per-node port bandwidth, broadcast versus shuffle volumes, and the
 //!   homogeneous/heterogeneous mode selection shared with the P-store
 //!   runtime via [`eedc_pstore::select_execution_mode`].
-//! * [`advisor`] — enumerates the design grid, normalizes predictions into
-//!   an [`eedc_simkit::metrics::NormalizedSeries`] against the all-Beefy
-//!   reference, and returns the cheapest design meeting a performance floor.
+//! * [`advisor`] — enumerates the design grid under *any* estimator,
+//!   normalizes the records against the all-Beefy reference, and returns
+//!   the cheapest design meeting a performance floor.
+//! * [`json`] — the hand-rolled JSON writer that lands [`RunRecord`] series
+//!   on disk for the figures pipeline.
 //! * [`params`] — the published working-set sizes of the Section 5.4 sweeps.
 //!
-//! The model is validated against measured [`eedc_pstore::PStoreCluster`]
-//! points in `tests/model_validation.rs`: homogeneous scale-downs and
-//! heterogeneous designs must agree within 15%, and the advisor's pick must
-//! match the pick over the measured series.
+//! The measured and analytical lenses are validated against each other in
+//! `tests/model_validation.rs`: homogeneous scale-downs and heterogeneous
+//! designs must agree within 15% through the experiment API, and the
+//! advisor's pick must match across the two series.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod advisor;
 pub mod error;
+pub mod experiment;
+pub mod json;
 pub mod model;
+pub mod workload;
 
 pub use advisor::{DesignAdvisor, DesignSpace, DesignSpaceReport, Recommendation};
 pub use error::CoreError;
+pub use experiment::{
+    Analytical, Behavioural, Estimator, Experiment, ExperimentReport, Measured, PhaseRecord,
+    RunRecord, RunSeries,
+};
+pub use json::JsonValue;
 pub use model::{AnalyticalModel, ModelPrediction, PhasePrediction, SweepJoin};
+pub use workload::{ConcurrencySweep, ProfiledQuery, SkewedJoin, Workload, WorkloadPlan};
 
 pub mod params {
     //! Published parameters of the Section 5.4 model sweeps.

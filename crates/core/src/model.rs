@@ -31,7 +31,7 @@ use crate::error::CoreError;
 use crate::params;
 use eedc_pstore::cluster::select_execution_mode;
 use eedc_pstore::stats::{Bottleneck, ExecutionMode};
-use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinSkew, JoinStrategy, PStoreCluster, RunOptions};
 use eedc_simkit::metrics::Measurement;
 use eedc_simkit::units::{Joules, Megabytes, MegabytesPerSec, Seconds};
 use eedc_simkit::NodeSpec;
@@ -183,6 +183,11 @@ pub struct PhasePrediction {
     pub compute_time: Seconds,
     /// The component predicted to bound the phase.
     pub bottleneck: Bottleneck,
+    /// Predicted per-node CPU utilization, in cluster node order (mirrors
+    /// `PhaseStats::node_utilization`).
+    pub node_utilization: Vec<f64>,
+    /// Predicted per-node energy, in cluster node order; sums to `energy`.
+    pub node_energy: Vec<Joules>,
 }
 
 /// The model's prediction for one design executing the sweep join.
@@ -250,39 +255,50 @@ impl MovementVolumes {
 }
 
 /// Closed-form per-node volumes of a hash shuffle: every node sends its
-/// qualifying bytes split evenly across the destinations; the share hashed to
-/// the local node never crosses the network (mirrors
+/// qualifying bytes split across the destinations by the hash-partition
+/// weights (uniform `1/d` when `weights` is `None`); the share hashed to the
+/// local node never crosses the network (mirrors
 /// `eedc_netsim::shuffle_flows`).
-fn shuffle_volumes(qualifying: &[Megabytes], destinations: &[usize]) -> MovementVolumes {
+fn shuffle_volumes(
+    qualifying: &[Megabytes],
+    destinations: &[usize],
+    weights: Option<&[f64]>,
+) -> MovementVolumes {
     let n = qualifying.len();
-    let d = destinations.len() as f64;
     let total: Megabytes = qualifying.iter().copied().sum();
-    let is_destination: Vec<bool> = {
-        let mut v = vec![false; n];
-        for &id in destinations {
-            v[id] = true;
-        }
-        v
-    };
+    // Per-node destination weight: 0 for non-destinations, the partition
+    // weight (uniform share without skew) for destinations.
+    let mut weight = vec![0.0; n];
+    for (slot, &id) in destinations.iter().enumerate() {
+        weight[id] = match weights {
+            Some(w) => w[slot],
+            None => 1.0 / destinations.len() as f64,
+        };
+    }
     let mut egress = vec![Megabytes::zero(); n];
     let mut ingress = vec![Megabytes::zero(); n];
     let mut computed = vec![Megabytes::zero(); n];
     for (id, &q) in qualifying.iter().enumerate() {
-        egress[id] = if is_destination[id] {
-            q * ((d - 1.0) / d)
-        } else {
-            q
-        };
+        // Everything except the share hashed back to the local node.
+        egress[id] = q * (1.0 - weight[id]);
     }
     for &id in destinations {
-        computed[id] = total / d;
-        ingress[id] = (total - qualifying[id]) / d;
+        computed[id] = total * weight[id];
+        ingress[id] = (total - qualifying[id]) * weight[id];
     }
     MovementVolumes {
         computed,
         egress,
         ingress,
     }
+}
+
+/// Closed-form per-node volumes of a co-partitioned (local) layout under
+/// hash-partition weights: node `j` holds `total × w_j` of the qualifying
+/// bytes, and nothing crosses the network.
+fn local_weighted_volumes(qualifying: &[Megabytes], weights: &[f64]) -> MovementVolumes {
+    let total: Megabytes = qualifying.iter().copied().sum();
+    MovementVolumes::local(weights.iter().map(|&w| total * w).collect())
 }
 
 /// Closed-form per-node volumes of a broadcast: every node sends its full
@@ -353,6 +369,20 @@ impl AnalyticalModel {
         design: &ClusterSpec,
         strategy: JoinStrategy,
     ) -> Result<ModelPrediction, CoreError> {
+        self.predict_skewed(design, strategy, None)
+    }
+
+    /// Like [`predict`](Self::predict), but with the join keys following a
+    /// Zipf skew: hash-partitioned movement routes each destination its Zipf
+    /// partition weight instead of the uniform `1/d` share, mirroring the
+    /// [`eedc_pstore::RunOptions::skew`] hook of the runtime. Broadcast
+    /// replication is unaffected by key skew.
+    pub fn predict_skewed(
+        &self,
+        design: &ClusterSpec,
+        strategy: JoinStrategy,
+        skew: Option<&JoinSkew>,
+    ) -> Result<ModelPrediction, CoreError> {
         let w = &self.workload;
         let nodes = design.nodes();
         let n = nodes.len();
@@ -360,14 +390,23 @@ impl AnalyticalModel {
 
         let (mode, destinations) =
             select_execution_mode(nodes, strategy, w.total_hash_table(), w.hash_table_headroom)?;
+        // Per-destination hash-partition weights (None degenerates to the
+        // uniform split inside the volume helpers).
+        let weights = skew
+            .filter(|s| !s.is_uniform())
+            .map(|s| s.partition_weights(destinations.len()));
+        let weights = weights.as_deref();
 
         // ---- Build phase: scan + filter ORDERS, move it, build hash tables.
         let build_scanned = vec![w.build_bytes * share; n];
         let build_qualifying = vec![w.build_bytes * (share * w.build_selectivity); n];
         let build = match strategy {
-            JoinStrategy::DualShuffle => shuffle_volumes(&build_qualifying, &destinations),
+            JoinStrategy::DualShuffle => shuffle_volumes(&build_qualifying, &destinations, weights),
             JoinStrategy::Broadcast => broadcast_volumes(&build_qualifying, &destinations),
-            JoinStrategy::PrePartitioned => MovementVolumes::local(build_qualifying),
+            JoinStrategy::PrePartitioned => match weights {
+                Some(w) => local_weighted_volumes(&build_qualifying, w),
+                None => MovementVolumes::local(build_qualifying),
+            },
         };
         let build_phase = self.phase(nodes, "build", &build_scanned, &build);
 
@@ -377,10 +416,15 @@ impl AnalyticalModel {
         let probe = match (strategy, mode) {
             (JoinStrategy::DualShuffle, _)
             | (JoinStrategy::Broadcast, ExecutionMode::Heterogeneous) => {
-                shuffle_volumes(&probe_qualifying, &destinations)
+                shuffle_volumes(&probe_qualifying, &destinations, weights)
             }
-            (JoinStrategy::Broadcast, ExecutionMode::Homogeneous)
-            | (JoinStrategy::PrePartitioned, _) => MovementVolumes::local(probe_qualifying),
+            (JoinStrategy::PrePartitioned, _) => match weights {
+                Some(w) => local_weighted_volumes(&probe_qualifying, w),
+                None => MovementVolumes::local(probe_qualifying),
+            },
+            (JoinStrategy::Broadcast, ExecutionMode::Homogeneous) => {
+                MovementVolumes::local(probe_qualifying)
+            }
         };
         let probe_phase = self.phase(nodes, "probe", &probe_scanned, &probe);
 
@@ -430,6 +474,8 @@ impl AnalyticalModel {
         };
 
         let mut energy = Joules::zero();
+        let mut node_utilization = Vec::with_capacity(nodes.len());
+        let mut node_energy = Vec::with_capacity(nodes.len());
         for (id, node) in nodes.iter().enumerate() {
             let processed = (scanned[id] + movement.computed[id]) * batch;
             let rate = if duration.value() > f64::EPSILON {
@@ -437,7 +483,11 @@ impl AnalyticalModel {
             } else {
                 MegabytesPerSec::zero()
             };
-            energy += node.power_at(node.utilization_at_rate(rate)) * duration;
+            let utilization = node.utilization_at_rate(rate);
+            node_utilization.push(utilization);
+            let joules = node.power_at(utilization) * duration;
+            node_energy.push(joules);
+            energy += joules;
         }
 
         PhasePrediction {
@@ -450,6 +500,8 @@ impl AnalyticalModel {
             network_time,
             compute_time,
             bottleneck,
+            node_utilization,
+            node_energy,
         }
     }
 }
@@ -544,7 +596,7 @@ mod tests {
         // 4 nodes shuffling to all 4: each node keeps 1/4 of its data local,
         // so 3/4 of the total crosses the network.
         let q = vec![Megabytes(100.0); 4];
-        let v = shuffle_volumes(&q, &[0, 1, 2, 3]);
+        let v = shuffle_volumes(&q, &[0, 1, 2, 3], None);
         let network: f64 = v.egress.iter().map(|b| b.value()).sum();
         assert!((network - 300.0).abs() < 1e-9);
         for id in 0..4 {
@@ -554,12 +606,72 @@ mod tests {
         }
         // Shuffling to a 2-node subset: sources outside the subset send
         // everything; each destination ingests (total - own)/2.
-        let v = shuffle_volumes(&q, &[0, 1]);
+        let v = shuffle_volumes(&q, &[0, 1], None);
         assert!((v.egress[2].value() - 100.0).abs() < 1e-9);
         assert!((v.egress[0].value() - 50.0).abs() < 1e-9);
         assert!((v.ingress[0].value() - 150.0).abs() < 1e-9);
         assert!((v.computed[0].value() - 200.0).abs() < 1e-9);
         assert_eq!(v.computed[2], Megabytes::zero());
+    }
+
+    #[test]
+    fn weighted_shuffle_routes_the_hot_partition_share() {
+        // A 60/20/10/10 weight vector over 4 destinations: node 0 builds 60%
+        // of the total and ingests 60% of everything it did not already hold.
+        let q = vec![Megabytes(100.0); 4];
+        let w = [0.6, 0.2, 0.1, 0.1];
+        let v = shuffle_volumes(&q, &[0, 1, 2, 3], Some(&w));
+        assert!((v.computed[0].value() - 240.0).abs() < 1e-9);
+        assert!((v.computed[1].value() - 80.0).abs() < 1e-9);
+        assert!((v.ingress[0].value() - 0.6 * 300.0).abs() < 1e-9);
+        // Each source keeps only its locally-hashed share.
+        assert!((v.egress[0].value() - 40.0).abs() < 1e-9);
+        assert!((v.egress[2].value() - 90.0).abs() < 1e-9);
+        // Total computed mass is conserved.
+        let computed: f64 = v.computed.iter().map(|b| b.value()).sum();
+        assert!((computed - 400.0).abs() < 1e-9);
+        // The weighted local layout concentrates without any network volume.
+        let v = local_weighted_volumes(&q, &w);
+        assert!((v.computed[0].value() - 240.0).abs() < 1e-9);
+        assert_eq!(v.egress[0], Megabytes::zero());
+        assert_eq!(v.ingress[3], Megabytes::zero());
+    }
+
+    #[test]
+    fn skewed_predictions_dominate_uniform_on_the_hot_node() {
+        // Mirror of the runtime's skew test, in closed form: a heavy Zipf
+        // skew over a tight key domain makes the hot node the bottleneck.
+        // 20% build selectivity keeps the hash table feasible on 16 nodes
+        // (280 GB / 16 = 17.5 GB per node) while the 50% probe side gives the
+        // hash-partitioned volumes real weight next to the scans.
+        let model =
+            AnalyticalModel::new(SweepJoin::section_5_4(JoinQuerySpec::new(0.2, 0.5))).unwrap();
+        let design = homogeneous(16);
+        let skew = JoinSkew {
+            theta: 1.5,
+            key_domain: 1_000,
+            seed: 7,
+        };
+        let uniform = model.predict(&design, JoinStrategy::DualShuffle).unwrap();
+        let skewed = model
+            .predict_skewed(&design, JoinStrategy::DualShuffle, Some(&skew))
+            .unwrap();
+        assert!(skewed.response_time() > uniform.response_time());
+        for (sp, up) in skewed.phases.iter().zip(&uniform.phases) {
+            let hot = |e: &[Joules]| e.iter().map(|j| j.value()).fold(0.0_f64, f64::max);
+            assert!(hot(&sp.node_energy) > hot(&up.node_energy), "{}", sp.label);
+            let total: f64 = sp.node_energy.iter().map(|j| j.value()).sum();
+            assert!((total - sp.energy.value()).abs() < 1e-6 * total.max(1.0));
+        }
+        // A uniform (theta = 0) skew is exactly the unskewed prediction.
+        let zero = model
+            .predict_skewed(
+                &design,
+                JoinStrategy::DualShuffle,
+                Some(&JoinSkew::zipf(0.0)),
+            )
+            .unwrap();
+        assert_eq!(zero, uniform);
     }
 
     #[test]

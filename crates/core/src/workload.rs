@@ -1,0 +1,388 @@
+//! The workload side of the experiment API: *what* is being evaluated,
+//! independent of *how* it is evaluated.
+//!
+//! A [`Workload`] describes one or more join configurations as
+//! [`WorkloadPlan`]s — a uniform descriptor every [`crate::Estimator`] knows
+//! how to read. The same plan can be executed by the measured P-store
+//! runtime, predicted by the Section 5.4 closed-form model, or extrapolated
+//! by the Section 3 behavioural scaling law, which is exactly the
+//! three-lens comparison the paper's figures are built on.
+//!
+//! Implementations:
+//!
+//! * [`SweepJoin`] — the paper's two-table sweep join (one plan),
+//! * [`ConcurrencySweep`] — the 1/2/4 concurrent-query sweeps of
+//!   Figures 3–4 (one plan per level),
+//! * [`SkewedJoin`] — the sweep join with a Zipf-skewed join key, built on
+//!   [`eedc_tpch::ZipfKeys`] (Section 4.1's deferred third bottleneck),
+//! * [`ProfiledQuery`] — a measured [`QueryProfile`], driving the Vertica
+//!   SF-1000 scale-down studies of Figures 1–2.
+
+use crate::model::SweepJoin;
+use eedc_pstore::{JoinQuerySpec, JoinSkew, JoinStrategy, RunOptions};
+use eedc_simkit::units::Seconds;
+use eedc_tpch::{QueryId, QueryProfile, ScaleFactor, TpchTable};
+
+/// The uniform workload descriptor every estimator consumes.
+///
+/// Each estimator reads the part it understands: the measured runtime
+/// executes `query` under `strategy` (with `skew` wired into the cluster
+/// options), the analytical model predicts from the `sweep` volumes, and the
+/// behavioural law extrapolates `profile` (deriving one from the analytical
+/// model at the reference configuration when the workload does not carry a
+/// measured profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPlan {
+    /// Human-readable label, used in reports and JSON output.
+    pub label: String,
+    /// The closed-form join description: byte volumes, selectivities,
+    /// hash-table sizing, and concurrency.
+    pub sweep: SweepJoin,
+    /// The predicate selectivities the measured runtime executes.
+    pub query: JoinQuerySpec,
+    /// How the join moves data.
+    pub strategy: JoinStrategy,
+    /// Optional Zipf skew on the join-key distribution.
+    pub skew: Option<JoinSkew>,
+    /// Optional measured work profile (node-local / repartition / broadcast
+    /// split) for the behavioural estimator.
+    pub profile: Option<QueryProfile>,
+    /// Optional absolute anchor for the behavioural estimator: the response
+    /// time of the reference configuration. For profile-less sweep plans,
+    /// `None` derives the anchor from the analytical model at the reference
+    /// configuration; for plans carrying a measured `profile`, `None` means
+    /// a unit (1 s) anchor — predictions are then *relative*, exactly as
+    /// Figures 1–2 plot them.
+    pub reference_time: Option<Seconds>,
+}
+
+impl WorkloadPlan {
+    /// A plan for a plain sweep join under the given strategy.
+    pub fn sweep_join(sweep: SweepJoin, strategy: JoinStrategy) -> Self {
+        let query = JoinQuerySpec::new(sweep.build_selectivity, sweep.probe_selectivity);
+        let concurrency = if sweep.concurrency > 1 {
+            format!(" x{}", sweep.concurrency)
+        } else {
+            String::new()
+        };
+        Self {
+            label: format!("sweep {}{concurrency}", query.label()),
+            sweep,
+            query,
+            strategy,
+            skew: None,
+            profile: None,
+            reference_time: None,
+        }
+    }
+
+    /// The same plan under a different join strategy.
+    pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The same plan with the measured runtime executing a different query
+    /// spec (the analytical `sweep` volumes are left untouched — used when
+    /// the sweep already carries *realized* selectivities derived from a
+    /// loaded cluster).
+    pub fn with_query(mut self, query: JoinQuerySpec) -> Self {
+        self.query = query;
+        self
+    }
+}
+
+/// Something that can be evaluated by any [`crate::Estimator`]: a workload
+/// description expanded into one or more uniform [`WorkloadPlan`]s.
+///
+/// The trait is object safe, so heterogeneous workload collections can be
+/// swept through one [`crate::Experiment`].
+pub trait Workload {
+    /// Label of the workload as a whole.
+    fn label(&self) -> String;
+
+    /// The concrete plans to evaluate, in presentation order. Most workloads
+    /// yield exactly one; sweeps yield one per swept point.
+    fn plans(&self) -> Vec<WorkloadPlan>;
+}
+
+/// A plan is trivially a workload of itself.
+impl Workload for WorkloadPlan {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        vec![self.clone()]
+    }
+}
+
+/// The plain sweep join evaluates under the dual-shuffle repartitioning plan
+/// (the paper's default execution method); use
+/// [`Experiment::strategy`](crate::Experiment::strategy) or
+/// [`WorkloadPlan::with_strategy`] for the other strategies.
+impl Workload for SweepJoin {
+    fn label(&self) -> String {
+        WorkloadPlan::sweep_join(*self, JoinStrategy::DualShuffle).label
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        vec![WorkloadPlan::sweep_join(*self, JoinStrategy::DualShuffle)]
+    }
+}
+
+/// The 1/2/4 concurrent-query sweeps of Figures 3 and 4 as a workload: one
+/// plan per concurrency level, each running `level` identical copies of the
+/// base sweep join over the shared interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrencySweep {
+    base: SweepJoin,
+    levels: Vec<usize>,
+}
+
+impl ConcurrencySweep {
+    /// Sweep the base join over the given concurrency levels.
+    pub fn new(base: SweepJoin, levels: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            base,
+            levels: levels.into_iter().collect(),
+        }
+    }
+
+    /// The paper's 1/2/4 sweep.
+    pub fn paper(base: SweepJoin) -> Self {
+        Self::new(base, eedc_pstore::concurrency::PAPER_LEVELS)
+    }
+
+    /// The swept concurrency levels.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+}
+
+impl Workload for ConcurrencySweep {
+    fn label(&self) -> String {
+        format!("{} concurrency sweep", self.base.label())
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        self.levels
+            .iter()
+            .map(|&level| {
+                WorkloadPlan::sweep_join(
+                    self.base.with_concurrency(level.max(1)),
+                    JoinStrategy::DualShuffle,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The sweep join with a Zipf-skewed join-key distribution, built on
+/// [`eedc_tpch::ZipfKeys`]: hash partitioning no longer splits work `1/n`,
+/// so per-node utilization and energy unbalance toward the node holding the
+/// hot partition (Section 4.1's deferred third bottleneck).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewedJoin {
+    base: SweepJoin,
+    skew: JoinSkew,
+}
+
+impl SkewedJoin {
+    /// A skewed variant of the base join.
+    pub fn new(base: SweepJoin, skew: JoinSkew) -> Self {
+        Self { base, skew }
+    }
+
+    /// A skewed variant with the given Zipf exponent over the default key
+    /// domain.
+    pub fn zipf(base: SweepJoin, theta: f64) -> Self {
+        Self::new(base, JoinSkew::zipf(theta))
+    }
+
+    /// The skew parameters.
+    pub fn skew(&self) -> &JoinSkew {
+        &self.skew
+    }
+
+    /// The theoretical load fraction of the hottest of `partitions` hash
+    /// partitions under this skew (uniform is `1 / partitions`).
+    pub fn hot_partition_fraction(&self, partitions: usize) -> f64 {
+        self.skew
+            .partition_weights(partitions)
+            .into_iter()
+            .fold(0.0, f64::max)
+            .max(if partitions == 0 { 1.0 } else { 0.0 })
+    }
+}
+
+impl Workload for SkewedJoin {
+    fn label(&self) -> String {
+        self.plans().remove(0).label
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        let mut plan = WorkloadPlan::sweep_join(self.base, JoinStrategy::DualShuffle);
+        plan.label = format!("{} zipf(θ={})", plan.label, self.skew.theta);
+        plan.skew = Some(self.skew);
+        vec![plan]
+    }
+}
+
+/// A measured query profile as a workload: the Section 3 studies, where an
+/// off-the-shelf DBMS's per-query work split (node-local / repartition /
+/// broadcast) is known and the question is how the query scales with the
+/// cluster size.
+///
+/// The behavioural estimator consumes the profile directly; the measured and
+/// analytical estimators reconstruct the equivalent sweep join from the
+/// profile's selectivities and the projected TPC-H working sets at `scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledQuery {
+    profile: QueryProfile,
+    scale: ScaleFactor,
+    reference_time: Seconds,
+}
+
+impl ProfiledQuery {
+    /// A profiled query at the given scale, anchored at the reference
+    /// configuration's measured response time.
+    pub fn new(profile: QueryProfile, scale: ScaleFactor, reference_time: Seconds) -> Self {
+        Self {
+            profile,
+            scale,
+            reference_time,
+        }
+    }
+
+    /// The Vertica SF-1000 study of Figures 1–2 for one of the paper's
+    /// queries, with a unit anchor (all predictions are then relative to the
+    /// eight-node reference, exactly as the figures plot them).
+    pub fn vertica_sf1000(query: QueryId) -> Self {
+        Self::new(
+            QueryProfile::paper(query),
+            ScaleFactor::SF1000,
+            Seconds(1.0),
+        )
+    }
+
+    /// The profile driving the workload.
+    pub fn profile(&self) -> &QueryProfile {
+        &self.profile
+    }
+}
+
+impl Workload for ProfiledQuery {
+    fn label(&self) -> String {
+        format!("{}@{}", self.profile.query, self.scale)
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        let defaults = RunOptions::default();
+        let sweep = SweepJoin {
+            build_bytes: self.scale.projected_size(TpchTable::Orders),
+            probe_bytes: self.scale.projected_size(TpchTable::Lineitem),
+            build_selectivity: self.profile.build_selectivity,
+            probe_selectivity: self.profile.probe_selectivity,
+            hash_table_expansion: defaults.hash_table_expansion,
+            hash_table_headroom: defaults.hash_table_headroom,
+            in_memory: defaults.in_memory,
+            concurrency: 1,
+        };
+        vec![WorkloadPlan {
+            label: self.label(),
+            sweep,
+            query: JoinQuerySpec::new(
+                self.profile.build_selectivity,
+                self.profile.probe_selectivity,
+            ),
+            strategy: JoinStrategy::DualShuffle,
+            skew: None,
+            profile: Some(self.profile.clone()),
+            reference_time: Some(self.reference_time),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eedc_simkit::units::Megabytes;
+
+    fn base() -> SweepJoin {
+        SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle())
+    }
+
+    #[test]
+    fn sweep_join_yields_one_dual_shuffle_plan() {
+        let plans = base().plans();
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0];
+        assert_eq!(plan.strategy, JoinStrategy::DualShuffle);
+        assert_eq!(plan.query, JoinQuerySpec::q3_dual_shuffle());
+        assert!(plan.skew.is_none());
+        assert!(plan.profile.is_none());
+        assert!(plan.label.contains("O5%/L5%"), "{}", plan.label);
+        // The plan is itself a single-plan workload.
+        assert_eq!(plan.plans(), plans);
+        assert_eq!(Workload::label(plan), plan.label);
+    }
+
+    #[test]
+    fn plan_overrides_patch_strategy_and_query() {
+        let plan = WorkloadPlan::sweep_join(base(), JoinStrategy::DualShuffle)
+            .with_strategy(JoinStrategy::Broadcast)
+            .with_query(JoinQuerySpec::new(0.01, 0.05));
+        assert_eq!(plan.strategy, JoinStrategy::Broadcast);
+        assert_eq!(plan.query.build_selectivity, 0.01);
+        // The analytical volumes are untouched by the query override.
+        assert_eq!(plan.sweep.build_selectivity, 0.05);
+    }
+
+    #[test]
+    fn concurrency_sweep_expands_the_paper_levels() {
+        let sweep = ConcurrencySweep::paper(base());
+        assert_eq!(sweep.levels(), &[1, 2, 4]);
+        let plans = sweep.plans();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].sweep.concurrency, 1);
+        assert_eq!(plans[2].sweep.concurrency, 4);
+        assert!(plans[2].label.contains("x4"), "{}", plans[2].label);
+        assert!(Workload::label(&sweep).contains("concurrency sweep"));
+        // Degenerate zero levels are clamped to 1.
+        let clamped = ConcurrencySweep::new(base(), [0]);
+        assert_eq!(clamped.plans()[0].sweep.concurrency, 1);
+    }
+
+    #[test]
+    fn skewed_join_carries_its_skew_into_the_plan() {
+        let skewed = SkewedJoin::zipf(base(), 1.0);
+        let plans = skewed.plans();
+        assert_eq!(plans.len(), 1);
+        let skew = plans[0].skew.expect("plan carries the skew");
+        assert_eq!(skew.theta, 1.0);
+        assert!(plans[0].label.contains("zipf"), "{}", plans[0].label);
+        assert!(Workload::label(&skewed).contains("zipf"));
+        // The hot partition carries more than the uniform share.
+        assert!(skewed.hot_partition_fraction(8) > 1.0 / 8.0);
+        assert_eq!(skewed.hot_partition_fraction(0), 1.0);
+    }
+
+    #[test]
+    fn profiled_query_reconstructs_the_scaled_sweep() {
+        let q12 = ProfiledQuery::vertica_sf1000(QueryId::Q12);
+        let plans = q12.plans();
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0];
+        assert_eq!(plan.label, "Q12@SF1000");
+        let profile = plan.profile.as_ref().expect("profile rides along");
+        assert_eq!(profile.query, QueryId::Q12);
+        assert_eq!(plan.reference_time, Some(Seconds(1.0)));
+        // SF-1000 projected working sets: 2.5x the Section 5.2 SF-400 sizes.
+        assert!(plan.sweep.probe_bytes > Megabytes(100_000.0));
+        assert!(
+            (plan.sweep.probe_bytes.value() / plan.sweep.build_bytes.value() - 4.0).abs() < 1e-9
+        );
+        assert_eq!(plan.query.probe_selectivity, profile.probe_selectivity);
+    }
+}

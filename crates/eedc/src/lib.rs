@@ -1,19 +1,63 @@
 //! # eedc
 //!
 //! Umbrella crate for the energy-efficient database cluster toolkit: one
-//! dependency that re-exports every layer of the workspace under a short
-//! module path, and the home of the runnable examples (see `examples/` at
-//! the workspace root).
+//! dependency that re-exports every layer of the workspace, and the home of
+//! the runnable examples (see `examples/` at the workspace root).
+//!
+//! ## The experiment API
+//!
+//! The toolkit's front door is the [`Experiment`] builder: describe a
+//! [`Workload`] once, pick the cluster designs to compare, and evaluate it
+//! under any combination of [`Estimator`] lenses —
+//!
+//! * [`Measured`] — real P-store cluster runs (engine-scale correctness,
+//!   nominal-scale time/energy; Section 5 of the paper),
+//! * [`Analytical`] — the closed-form Section 5.4 design model,
+//! * [`Behavioural`] — the first-order Section 3 scaling law.
+//!
+//! Every lens yields the same [`RunRecord`] shape (response time, energy,
+//! EDP, per-node utilization/energy, normalized-vs-reference point), and
+//! reports serialize to JSON for the figures pipeline.
+//!
+//! ```
+//! use eedc::{Analytical, Experiment, SweepJoin};
+//! use eedc::pstore::{ClusterSpec, JoinQuerySpec};
+//! use eedc::simkit::catalog::cluster_v_node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Q3-style sweep join (5% predicates on both inputs) over a
+//! // homogeneous scale-down, predicted in closed form.
+//! let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+//! let report = Experiment::new(&workload)
+//!     .designs([
+//!         ClusterSpec::homogeneous(cluster_v_node(), 16)?,
+//!         ClusterSpec::homogeneous(cluster_v_node(), 8)?,
+//!     ])
+//!     .estimator(Analytical)
+//!     .run()?;
+//!
+//! let series = &report.series[0];
+//! assert_eq!(series.records[0].design, "16B,0W");
+//! // Half the cluster is slower but does not halve the energy — the
+//! // energy-proportionality gap the paper is about.
+//! let point = series.record("8B,0W").unwrap().normalized.unwrap();
+//! assert!(point.performance < 1.0);
+//! assert!(point.energy > point.performance);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Layer map
 //!
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`simkit`] | `eedc-simkit` | units, power models, hardware catalog, metrics |
 //! | [`netsim`] | `eedc-netsim` | flow-level interconnect simulator |
 //! | [`storage`] | `eedc-storage` | columnar tables, partitioning, scans |
-//! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles |
+//! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles, Zipf skew |
 //! | [`pstore`] | `eedc-pstore` | operators, cluster runtime, concurrency, microbench |
 //! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS scaling models |
-//! | [`model`] | `eedc-core` | Section 5.4 analytical design model + Section 6 design-space advisor |
+//! | [`model`] | `eedc-core` | experiment API, Section 5.4 analytical model, Section 6 advisor |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,44 +70,48 @@ pub use eedc_simkit as simkit;
 pub use eedc_storage as storage;
 pub use eedc_tpch as tpch;
 
+// The experiment API is the facade's front door: re-export it at the top
+// level so examples and downstream code write `eedc::Experiment`.
+pub use eedc_core::{
+    Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Estimator, Experiment,
+    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, SkewedJoin, SweepJoin,
+    Workload, WorkloadPlan,
+};
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn all_layers_are_reachable_through_the_umbrella() {
-        // One end-to-end smoke: build a tiny cluster through the re-exported
-        // paths and run a shuffle join.
-        let node = crate::simkit::catalog::cluster_v_node();
-        let spec = crate::pstore::ClusterSpec::homogeneous(node, 2).unwrap();
-        let cluster = crate::pstore::PStoreCluster::load(
-            spec,
-            crate::pstore::RunOptions {
-                engine_scale: crate::tpch::ScaleFactor(0.001),
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        let execution = cluster
-            .run(
-                &crate::pstore::JoinQuerySpec::q3_dual_shuffle(),
-                crate::pstore::JoinStrategy::DualShuffle,
-            )
+        // One end-to-end smoke: run a tiny measured experiment through the
+        // re-exported facade paths.
+        let workload = SweepJoin::section_5_4(crate::pstore::JoinQuerySpec::q3_dual_shuffle());
+        let spec =
+            crate::pstore::ClusterSpec::homogeneous(crate::simkit::catalog::cluster_v_node(), 2)
+                .unwrap();
+        let options = crate::pstore::RunOptions {
+            engine_scale: crate::tpch::ScaleFactor(0.001),
+            ..Default::default()
+        };
+        let report = Experiment::new(&workload)
+            .design(spec)
+            .estimator(Measured::new(options))
+            .run()
             .unwrap();
-        assert!(execution.output_rows > 0);
-        assert!(execution.measurement().edp() > 0.0);
+        let record = &report.series[0].records[0];
+        assert!(record.output_rows.unwrap() > 0);
+        assert!(record.edp() > 0.0);
+        assert_eq!(record.estimator, "measured");
     }
 
     #[test]
     fn advisor_is_reachable_through_the_umbrella() {
         // Second smoke: the analytical layer, end to end — enumerate a small
         // design grid and recommend a design for a performance floor.
-        let advisor = crate::model::DesignAdvisor::new(
-            crate::model::AnalyticalModel::section_5_4(
-                crate::pstore::JoinQuerySpec::q3_dual_shuffle(),
-            )
-            .unwrap(),
-            crate::pstore::JoinStrategy::DualShuffle,
-        );
-        let space = crate::model::DesignSpace::new(
+        let workload = SweepJoin::section_5_4(crate::pstore::JoinQuerySpec::q3_dual_shuffle());
+        let advisor = DesignAdvisor::new(Analytical, &workload);
+        let space = DesignSpace::new(
             crate::simkit::catalog::cluster_v_node(),
             crate::simkit::catalog::laptop_b(),
             4,

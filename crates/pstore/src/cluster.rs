@@ -31,7 +31,7 @@
 use crate::error::PStoreError;
 use crate::op::exchange::{broadcast_exchange, shuffle_exchange};
 use crate::op::hashjoin::hash_join;
-use crate::plan::{JoinQuerySpec, JoinStrategy};
+use crate::plan::{JoinQuerySpec, JoinSkew, JoinStrategy};
 use crate::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
 use eedc_netsim::{Fabric, Flow, FlowSet, NodeId, TransferSimulator};
 use eedc_simkit::units::{Joules, Megabytes, MegabytesPerSec, Seconds};
@@ -158,6 +158,12 @@ pub struct RunOptions {
     /// Set to `false` to model disk-resident data gated by the storage
     /// bandwidth.
     pub in_memory: bool,
+    /// Optional Zipf skew on the join-key distribution (Section 4.1's
+    /// deferred third bottleneck). When set, the nominal-scale volumes that
+    /// hash-partitioning routes to each consumer are reweighted by the Zipf
+    /// partition weights, so hot nodes receive more bytes, run hotter, and
+    /// burn more energy. Engine-scale correctness is unaffected.
+    pub skew: Option<JoinSkew>,
     /// Seed for the deterministic data generators.
     pub seed: u64,
 }
@@ -171,6 +177,7 @@ impl Default for RunOptions {
             hash_table_headroom: 0.2,
             hash_table_expansion: 2.0,
             in_memory: true,
+            skew: None,
             seed: 7,
         }
     }
@@ -198,6 +205,9 @@ impl RunOptions {
             return Err(PStoreError::planning(
                 "hash table expansion must be at least 1",
             ));
+        }
+        if let Some(skew) = &self.skew {
+            skew.validate()?;
         }
         Ok(())
     }
@@ -392,6 +402,7 @@ impl PStoreCluster {
 
         let (mode, destinations) =
             self.select_mode(strategy, qualifying_build_nominal, concurrency)?;
+        let hash_factors = self.hash_skew_factors(&destinations);
 
         let (build_received, build_flows) = match strategy {
             JoinStrategy::DualShuffle => {
@@ -405,11 +416,21 @@ impl PStoreCluster {
             JoinStrategy::PrePartitioned => (filtered_build, FlowSet::new()),
         };
 
+        // Broadcast replicates the whole build side onto every destination,
+        // so key skew cannot unbalance it; hash-partitioned movement (shuffle
+        // and the co-partitioned layout) routes hot keys to hot nodes.
+        let build_skew = match strategy {
+            JoinStrategy::DualShuffle | JoinStrategy::PrePartitioned => hash_factors.as_deref(),
+            JoinStrategy::Broadcast => None,
+        };
         let build_phase = self.phase_stats(
             "build",
             &scale_volumes(&build_scanned, self.scale_ratio * batch),
-            &scale_volumes(&table_sizes(&build_received), self.scale_ratio * batch),
-            &self.batch_flows(&build_flows, concurrency),
+            &apply_factors(
+                &scale_volumes(&table_sizes(&build_received), self.scale_ratio * batch),
+                build_skew,
+            ),
+            &self.batch_flows(&build_flows, concurrency, build_skew),
         )?;
 
         // ---- Probe phase: scan + filter LINEITEM, move it, probe.
@@ -432,11 +453,20 @@ impl PStoreCluster {
             | (JoinStrategy::PrePartitioned, _) => (filtered_probe, FlowSet::new()),
         };
 
+        // The probe side is hash-partitioned in every case except the
+        // homogeneous broadcast (which probes the local round-robin layout).
+        let probe_skew = match (strategy, mode) {
+            (JoinStrategy::Broadcast, ExecutionMode::Homogeneous) => None,
+            _ => hash_factors.as_deref(),
+        };
         let probe_phase = self.phase_stats(
             "probe",
             &scale_volumes(&probe_scanned, self.scale_ratio * batch),
-            &scale_volumes(&table_sizes(&probe_received), self.scale_ratio * batch),
-            &self.batch_flows(&probe_flows, concurrency),
+            &apply_factors(
+                &scale_volumes(&table_sizes(&probe_received), self.scale_ratio * batch),
+                probe_skew,
+            ),
+            &self.batch_flows(&probe_flows, concurrency, probe_skew),
         )?;
 
         // ---- Correctness: actually join on every node that holds data.
@@ -488,20 +518,41 @@ impl PStoreCluster {
         )
     }
 
+    /// Per-node multipliers on hash-partitioned consumer volumes under the
+    /// configured join-key skew: each destination's Zipf partition weight
+    /// relative to its uniform share. `None` when the runtime is unskewed;
+    /// non-destination nodes keep a factor of 1 (they receive nothing).
+    fn hash_skew_factors(&self, destinations: &[NodeId]) -> Option<Vec<f64>> {
+        let skew = self.options.skew.filter(|s| !s.is_uniform())?;
+        let per_destination = skew.partition_factors(destinations.len());
+        let mut factors = vec![1.0; self.spec.len()];
+        for (slot, &id) in destinations.iter().enumerate() {
+            factors[id] = per_destination[slot];
+        }
+        Some(factors)
+    }
+
     /// Replicate a per-query engine-scale flow set into `concurrency` groups
-    /// of nominal-scale flows. Local flows never touch the network and are
-    /// dropped.
-    fn batch_flows(&self, per_query: &FlowSet, concurrency: usize) -> FlowSet {
+    /// of nominal-scale flows, optionally reweighting each flow by its
+    /// destination's skew factor. Local flows never touch the network and
+    /// are dropped.
+    fn batch_flows(
+        &self,
+        per_query: &FlowSet,
+        concurrency: usize,
+        skew: Option<&[f64]>,
+    ) -> FlowSet {
         let mut set = FlowSet::new();
         for group in 0..concurrency {
             for flow in per_query.flows() {
                 if flow.is_local() {
                     continue;
                 }
+                let factor = skew.map_or(1.0, |f| f[flow.destination]);
                 set.push(Flow::with_group(
                     flow.source,
                     flow.destination,
-                    flow.bytes * self.scale_ratio,
+                    flow.bytes * self.scale_ratio * factor,
                     group,
                 ));
             }
@@ -553,6 +604,7 @@ impl PStoreCluster {
 
         let mut energy = Joules::zero();
         let mut node_utilization = Vec::with_capacity(nodes.len());
+        let mut node_energy = Vec::with_capacity(nodes.len());
         for (id, node) in nodes.iter().enumerate() {
             let processed = scanned[id] + computed[id];
             let rate = if duration.value() > f64::EPSILON {
@@ -562,7 +614,9 @@ impl PStoreCluster {
             };
             let utilization = node.utilization_at_rate(rate);
             node_utilization.push(utilization);
-            energy += node.power_at(utilization) * duration;
+            let joules = node.power_at(utilization) * duration;
+            node_energy.push(joules);
+            energy += joules;
         }
 
         Ok(PhaseStats {
@@ -576,6 +630,7 @@ impl PStoreCluster {
             compute_time,
             bottleneck,
             node_utilization,
+            node_energy,
         })
     }
 }
@@ -664,6 +719,14 @@ fn table_sizes(tables: &[Table]) -> Vec<Megabytes> {
 
 fn scale_volumes(volumes: &[Megabytes], factor: f64) -> Vec<Megabytes> {
     volumes.iter().map(|&v| v * factor).collect()
+}
+
+/// Apply per-node skew factors to a volume vector (identity when unskewed).
+fn apply_factors(volumes: &[Megabytes], factors: Option<&[f64]>) -> Vec<Megabytes> {
+    match factors {
+        None => volumes.to_vec(),
+        Some(f) => volumes.iter().zip(f).map(|(&v, &x)| v * x).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -879,6 +942,127 @@ mod tests {
             ..RunOptions::default()
         };
         assert!(PStoreCluster::load(spec, bad).is_err());
+    }
+
+    #[test]
+    fn skewed_keys_unbalance_the_hottest_node() {
+        // Section 4.1's deferred third bottleneck: a Zipf-skewed join key
+        // routes a disproportionate share of the shuffled bytes to the node
+        // owning the hot partition. The skewed run must dominate the uniform
+        // run on the hottest node — higher peak utilization and a higher
+        // utilization spread — while the engine-scale join stays exact.
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap();
+        let uniform = PStoreCluster::load(spec.clone(), RunOptions::default()).unwrap();
+        // A tight key domain under heavy skew: the hot partition receives
+        // roughly double its uniform share.
+        let skew = JoinSkew {
+            theta: 1.5,
+            key_domain: 1_000,
+            seed: 7,
+        };
+        let skewed = PStoreCluster::load(
+            spec,
+            RunOptions {
+                skew: Some(skew),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Wide 50% predicates so the hash-partitioned (shuffled) volumes are
+        // comparable to the scanned volumes — with Q3's 5% predicates the
+        // qualifying bytes are a rounding error next to the scans and the
+        // imbalance would be invisible in utilization.
+        let query = JoinQuerySpec::new(0.5, 0.5);
+
+        let u = uniform.run(&query, JoinStrategy::DualShuffle).unwrap();
+        let s = skewed.run(&query, JoinStrategy::DualShuffle).unwrap();
+
+        for (up, sp) in u.phases.iter().zip(&s.phases) {
+            // The hottest node burns strictly more energy under skew: it
+            // receives a disproportionate share of the shuffled bytes and the
+            // whole (stretched) phase runs at its pace.
+            let hot_energy = |p: &PhaseStats| {
+                p.node_energy
+                    .iter()
+                    .map(|e| e.value())
+                    .fold(0.0_f64, f64::max)
+            };
+            assert!(
+                hot_energy(sp) > hot_energy(up),
+                "{}: skewed hottest-node energy {:.1} does not dominate uniform {:.1}",
+                sp.label,
+                hot_energy(sp),
+                hot_energy(up),
+            );
+            // Per-node energies always sum to the phase energy.
+            let total: f64 = sp.node_energy.iter().map(|e| e.value()).sum();
+            assert!((total - sp.energy.value()).abs() < 1e-6 * sp.energy.value().max(1.0));
+        }
+        // The imbalance also shows in utilization where hash-partitioned
+        // volume carries real weight (the probe phase moves 4x the build
+        // bytes): the hottest node's share of total utilization exceeds the
+        // uniform run's ~1/4.
+        let hot_share =
+            |xs: &[f64]| xs.iter().copied().fold(0.0_f64, f64::max) / xs.iter().sum::<f64>();
+        let u_probe = u.phase("probe").unwrap();
+        let s_probe = s.phase("probe").unwrap();
+        assert!(
+            hot_share(&s_probe.node_utilization) > hot_share(&u_probe.node_utilization) + 0.01,
+            "probe: skewed hot share {:.3} vs uniform {:.3}",
+            hot_share(&s_probe.node_utilization),
+            hot_share(&u_probe.node_utilization),
+        );
+        // The hot port also stretches the network-bound response time.
+        assert!(s.response_time() > u.response_time());
+        // Correctness is untouched: skew reweights modeled volumes only.
+        assert_eq!(s.output_rows, u.output_rows);
+        assert_eq!(s.output_rows, uniform.reference_join_rows(&query).unwrap());
+
+        // theta = 0 must behave exactly like the unskewed default.
+        let zero = PStoreCluster::load(
+            ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap(),
+            RunOptions {
+                skew: Some(JoinSkew::zipf(0.0)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let z = zero.run(&query, JoinStrategy::DualShuffle).unwrap();
+        assert_eq!(z.measurement(), u.measurement());
+
+        // Invalid skew parameters are planning errors.
+        let bad = RunOptions {
+            skew: Some(JoinSkew {
+                theta: f64::NAN,
+                ..JoinSkew::zipf(1.0)
+            }),
+            ..RunOptions::default()
+        };
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), 2).unwrap();
+        assert!(PStoreCluster::load(spec, bad).is_err());
+    }
+
+    #[test]
+    fn broadcast_build_side_is_immune_to_skew() {
+        // A replicated build table puts the same bytes on every destination
+        // no matter how the keys are distributed; only the (shuffled) probe
+        // side of a heterogeneous broadcast can skew.
+        let spec = ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap();
+        let uniform = PStoreCluster::load(spec.clone(), RunOptions::default()).unwrap();
+        let skewed = PStoreCluster::load(
+            spec,
+            RunOptions {
+                skew: Some(JoinSkew::zipf(1.2)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let query = JoinQuerySpec::q3_broadcast();
+        let u = uniform.run(&query, JoinStrategy::Broadcast).unwrap();
+        let s = skewed.run(&query, JoinStrategy::Broadcast).unwrap();
+        // Homogeneous broadcast: build replicated, probe local — identical.
+        assert_eq!(u.mode, ExecutionMode::Homogeneous);
+        assert_eq!(s.measurement(), u.measurement());
     }
 
     #[test]

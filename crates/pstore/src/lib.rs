@@ -46,5 +46,5 @@ pub mod stats;
 pub use cluster::{select_execution_mode, ClusterSpec, PStoreCluster, RunOptions};
 pub use error::PStoreError;
 pub use microbench::{single_node_hash_join, MicrobenchResult};
-pub use plan::{JoinQuerySpec, JoinStrategy};
+pub use plan::{JoinQuerySpec, JoinSkew, JoinStrategy};
 pub use stats::{ExecutionMode, PhaseStats, QueryExecution};

@@ -1,5 +1,6 @@
-//! Join strategies and query specifications.
+//! Join strategies, query specifications, and join-key skew.
 
+use eedc_tpch::ZipfKeys;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -81,6 +82,82 @@ impl JoinQuerySpec {
     }
 }
 
+/// Zipf skew on the join-key distribution — Section 4.1's deferred "third
+/// bottleneck". Hash partitioning on a skewed key no longer splits work
+/// `1/n`: the partition holding the hottest keys receives a
+/// disproportionate share of the shuffled bytes, the hash-table build, and
+/// the probe work, which surfaces as per-node utilization and energy
+/// imbalance.
+///
+/// The runtime keeps executing the *engine-scale* join against the real
+/// (uniform) generated keys — correctness is unchanged — and reweights the
+/// *nominal-scale* volumes it feeds the time/energy models by the Zipf
+/// partition weights, exactly as the engine/nominal scale split already
+/// works for byte volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinSkew {
+    /// Zipf exponent of the join-key popularity distribution. `0` is
+    /// uniform; `~1` is the classic heavy skew.
+    pub theta: f64,
+    /// Number of distinct join keys the distribution ranges over.
+    pub key_domain: u64,
+    /// Seed of the deterministic generator (kept so that workloads replaying
+    /// a skewed run reproduce the same weights).
+    pub seed: u64,
+}
+
+impl JoinSkew {
+    /// Default join-key domain: the ORDERS key space of a small engine-scale
+    /// run is O(10^5) distinct keys, which keeps weight evaluation cheap.
+    pub const DEFAULT_KEY_DOMAIN: u64 = 100_000;
+
+    /// A Zipf skew with the given exponent over the default key domain.
+    pub fn zipf(theta: f64) -> Self {
+        Self {
+            theta,
+            key_domain: Self::DEFAULT_KEY_DOMAIN,
+            seed: 7,
+        }
+    }
+
+    /// Whether the skew degenerates to the uniform distribution.
+    pub fn is_uniform(&self) -> bool {
+        self.theta == 0.0
+    }
+
+    /// The load fraction each of `partitions` hash partitions receives
+    /// (sums to 1; uniform is `1 / partitions` everywhere).
+    pub fn partition_weights(&self, partitions: usize) -> Vec<f64> {
+        ZipfKeys::new(self.key_domain, self.theta, self.seed).partition_weights(partitions)
+    }
+
+    /// Per-destination *relative* load factors: 1.0 everywhere for a uniform
+    /// distribution, above 1.0 on hot partitions. This is the multiplier the
+    /// cluster runtime applies to the uniform-share volumes.
+    pub fn partition_factors(&self, partitions: usize) -> Vec<f64> {
+        self.partition_weights(partitions)
+            .into_iter()
+            .map(|w| w * partitions as f64)
+            .collect()
+    }
+
+    /// Validate the skew parameters.
+    pub fn validate(&self) -> Result<(), crate::error::PStoreError> {
+        if !(self.theta.is_finite() && self.theta >= 0.0) {
+            return Err(crate::error::PStoreError::planning(format!(
+                "skew theta must be finite and non-negative, got {}",
+                self.theta
+            )));
+        }
+        if self.key_domain == 0 {
+            return Err(crate::error::PStoreError::planning(
+                "skew key domain must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
 fn format_pct(fraction: f64) -> String {
     let pct = fraction * 100.0;
     if (pct - pct.round()).abs() < 1e-9 {
@@ -111,5 +188,53 @@ mod tests {
         assert_eq!(broadcast.build_selectivity, 0.01);
         assert_eq!(broadcast.label(), "O1%/L5%");
         assert_eq!(JoinQuerySpec::new(0.125, 0.5).label(), "O12.5%/L50%");
+    }
+
+    #[test]
+    fn skew_weights_and_factors_are_consistent() {
+        let uniform = JoinSkew::zipf(0.0);
+        assert!(uniform.is_uniform());
+        for f in uniform.partition_factors(4) {
+            assert!((f - 1.0).abs() < 1e-3, "uniform factor {f}");
+        }
+        let skewed = JoinSkew::zipf(1.0);
+        assert!(!skewed.is_uniform());
+        let weights = skewed.partition_weights(4);
+        let factors = skewed.partition_factors(4);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (w, f) in weights.iter().zip(&factors) {
+            assert!((w * 4.0 - f).abs() < 1e-12);
+        }
+        // The hot partition is loaded above its uniform share. Round-robin
+        // rank placement over the large default domain bounds the imbalance
+        // (each partition holds hot and cold ranks alike)...
+        assert!(factors[0] > 1.1, "hot factor {}", factors[0]);
+        // ...while a tight key domain under heavier skew concentrates hard.
+        let tight = JoinSkew {
+            theta: 1.5,
+            key_domain: 1_000,
+            seed: 7,
+        };
+        let hot = tight.partition_factors(4)[0];
+        assert!(hot > 1.8, "tight-domain hot factor {hot}");
+        assert!(skewed.validate().is_ok());
+        assert!(JoinSkew {
+            theta: f64::NAN,
+            ..skewed
+        }
+        .validate()
+        .is_err());
+        assert!(JoinSkew {
+            theta: -0.5,
+            ..skewed
+        }
+        .validate()
+        .is_err());
+        assert!(JoinSkew {
+            key_domain: 0,
+            ..skewed
+        }
+        .validate()
+        .is_err());
     }
 }

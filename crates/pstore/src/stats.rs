@@ -70,6 +70,9 @@ pub struct PhaseStats {
     pub bottleneck: Bottleneck,
     /// Per-node CPU utilization during the phase, in cluster node order.
     pub node_utilization: Vec<f64>,
+    /// Per-node energy over the phase, in cluster node order. Sums to
+    /// `energy`; under join-key skew the hot node's share dominates.
+    pub node_energy: Vec<Joules>,
 }
 
 impl PhaseStats {
@@ -168,6 +171,7 @@ mod tests {
             compute_time: Seconds(duration * 0.1),
             bottleneck,
             node_utilization: vec![0.5, 0.5],
+            node_energy: vec![Joules(energy / 2.0), Joules(energy / 2.0)],
         }
     }
 

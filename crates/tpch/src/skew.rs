@@ -133,6 +133,43 @@ impl ZipfKeys {
         (0..count).map(|_| self.next_key()).collect()
     }
 
+    /// The theoretical load fraction of each of `partitions` hash partitions
+    /// when keys are assigned round-robin by rank (mirroring hash placement
+    /// of distinct keys). The fractions sum to 1; a perfectly uniform
+    /// distribution yields `1 / partitions` everywhere, while skew
+    /// concentrates mass on the partition holding rank 1.
+    ///
+    /// Like [`next_key`](Self::next_key), the cost is bounded by the exact
+    /// head table: ranks up to `EXACT_LIMIT` are summed exactly, and the
+    /// smoothly-decaying tail beyond it — whose ranks cycle round-robin over
+    /// the partitions — splits uniformly via the closed-form tail integral,
+    /// so billion-key domains stay O(EXACT_LIMIT), not O(n).
+    pub fn partition_weights(&self, partitions: usize) -> Vec<f64> {
+        if partitions == 0 {
+            return Vec::new();
+        }
+        let mut load = vec![0.0_f64; partitions];
+        for rank in 1..=self.n.min(EXACT_LIMIT) {
+            load[(rank - 1) as usize % partitions] += self.probability_of_rank(rank);
+        }
+        if self.n > EXACT_LIMIT {
+            let tail = tail_mass(EXACT_LIMIT, self.n, self.theta) / self.harmonic;
+            for w in &mut load {
+                *w += tail / partitions as f64;
+            }
+        }
+        // Beyond the exact head table the normalizing harmonic is an integral
+        // approximation, so renormalize to make the weights an exact
+        // distribution.
+        let total: f64 = load.iter().sum();
+        if total > 0.0 {
+            for w in &mut load {
+                *w /= total;
+            }
+        }
+        load
+    }
+
     /// The theoretical load fraction of the most loaded of `partitions` hash
     /// partitions when keys are assigned round-robin by rank. A perfectly
     /// uniform distribution yields `1 / partitions`; heavy skew approaches the
@@ -141,14 +178,9 @@ impl ZipfKeys {
         if partitions == 0 {
             return 1.0;
         }
-        let mut load = vec![0.0_f64; partitions];
-        // Ranks are assigned to partitions round-robin, mirroring hash
-        // placement of distinct keys; summing the full domain is O(n) but the
-        // domains used in experiments are modest.
-        for rank in 1..=self.n {
-            load[(rank - 1) as usize % partitions] += self.probability_of_rank(rank);
-        }
-        load.into_iter().fold(0.0, f64::max)
+        self.partition_weights(partitions)
+            .into_iter()
+            .fold(0.0, f64::max)
     }
 }
 
@@ -244,6 +276,38 @@ mod tests {
         );
         // Degenerate partition count.
         assert_eq!(ZipfKeys::new(10, 0.5, 1).max_partition_fraction(0), 1.0);
+        assert!(ZipfKeys::new(10, 0.5, 1).partition_weights(0).is_empty());
+    }
+
+    #[test]
+    fn partition_weights_sum_to_one_and_expose_the_hot_partition() {
+        let gen = ZipfKeys::new(10_000, 1.0, 1);
+        let weights = gen.partition_weights(8);
+        assert_eq!(weights.len(), 8);
+        let total: f64 = weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+        // Rank 1 lands on partition 0, so partition 0 is the hottest, and
+        // the maximum matches the dedicated helper.
+        let max = weights.iter().copied().fold(0.0, f64::max);
+        assert_eq!(max, weights[0]);
+        assert_eq!(max, gen.max_partition_fraction(8));
+        // Uniform distributions split evenly.
+        for w in ZipfKeys::new(10_000, 0.0, 1).partition_weights(4) {
+            assert!((w - 0.25).abs() < 1e-3, "uniform weight {w}");
+        }
+    }
+
+    #[test]
+    fn partition_weights_over_huge_domains_use_the_tail_approximation() {
+        // A billion-key domain must evaluate in O(EXACT_LIMIT): the exact
+        // head plus a uniformly-split closed-form tail. The result is still
+        // a distribution with the hot partition above its uniform share.
+        let gen = ZipfKeys::new(1_000_000_000, 1.0, 1);
+        let weights = gen.partition_weights(8);
+        let total: f64 = weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+        assert!(weights[0] > 1.0 / 8.0, "hot weight {}", weights[0]);
+        assert_eq!(gen.max_partition_fraction(8), weights[0]);
     }
 
     #[test]

@@ -1,35 +1,36 @@
 //! Homogeneous cluster sizing (the Figure 1(a) shape): shrink a Cluster-V
 //! cluster and plot each size as a normalized (performance, energy) point
-//! against the largest configuration.
+//! against the largest configuration — under both the measured runtime and
+//! the closed-form analytical model, side by side.
 
-use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::pstore::{ClusterSpec, JoinQuerySpec};
 use eedc::simkit::catalog::cluster_v_node;
-use eedc::simkit::metrics::NormalizedSeries;
+use eedc::{Analytical, Experiment, Measured, SweepJoin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let query = JoinQuerySpec::q3_dual_shuffle();
+    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
     let sizes = [16usize, 12, 8, 4];
 
-    let mut measurements = Vec::new();
-    for &nodes in &sizes {
-        let spec = ClusterSpec::homogeneous(cluster_v_node(), nodes)?;
-        let cluster = PStoreCluster::load(spec, RunOptions::default())?;
-        let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
-        measurements.push((execution.cluster_label.clone(), execution.measurement()));
-    }
+    let report = Experiment::new(&workload)
+        .designs(
+            sizes
+                .iter()
+                .map(|&n| ClusterSpec::homogeneous(cluster_v_node(), n))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+        .estimator(Measured::default())
+        .estimator(Analytical)
+        .run()?;
 
-    let reference = measurements[0].1;
-    let series = NormalizedSeries::from_measurements(
-        measurements[0].0.clone(),
-        reference,
-        measurements[1..].iter().cloned(),
-    )?;
-    println!(
-        "normalized against {} ({reference})",
-        series.reference_label
-    );
-    for (label, point) in series.points() {
-        println!("  {label:>4}: {point}");
+    for series in &report.series {
+        println!(
+            "{} lens, normalized against {}",
+            series.estimator, series.normalized.reference_label
+        );
+        for record in &series.records {
+            let point = record.normalized.expect("experiment normalizes records");
+            println!("  {:>6}: {point}", record.design);
+        }
     }
     Ok(())
 }

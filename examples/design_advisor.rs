@@ -4,20 +4,23 @@
 //! normalize against the all-Beefy reference, and pick the most
 //! energy-efficient design meeting each performance target.
 //!
+//! The advisor is estimator-agnostic — swap `Analytical` for `Measured` (or
+//! `Behavioural`) and the same selection rule ranks designs from real runs.
+//!
 //! ```sh
 //! cargo run --release --example design_advisor
 //! ```
 
-use eedc::model::{AnalyticalModel, DesignAdvisor, DesignSpace};
-use eedc::pstore::{JoinQuerySpec, JoinStrategy};
+use eedc::pstore::JoinQuerySpec;
 use eedc::simkit::catalog::{cluster_v_node, laptop_b};
+use eedc::{Analytical, DesignAdvisor, DesignSpace, SweepJoin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Q3-style sweep join (5% predicates on both inputs) over a
     // grid of up to 8 Cluster-V "Beefy" servers and 16 Laptop-B "Wimpy"
     // nodes, executed with the dual-shuffle repartitioning plan.
-    let model = AnalyticalModel::section_5_4(JoinQuerySpec::q3_dual_shuffle())?;
-    let advisor = DesignAdvisor::new(model, JoinStrategy::DualShuffle);
+    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+    let advisor = DesignAdvisor::new(Analytical, &workload);
     let space = DesignSpace::new(cluster_v_node(), laptop_b(), 8, 16)?;
 
     let report = advisor.evaluate(&space)?;
@@ -34,15 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A few representative rows of the design space.
     for label in ["8B,0W", "8B,8W", "4B,8W", "2B,16W", "1B,16W"] {
-        if let (Some(prediction), Some(point)) = (report.prediction(label), report.point(label)) {
-            println!(
-                "  {label:>7} [{} execution]: {:.1} s, {:.1} kJ — {point}",
-                prediction.mode,
-                prediction.response_time().value(),
-                prediction.energy().as_kilojoules(),
-            );
-        } else {
-            println!("  {label:>7}: infeasible");
+        match report.record(label) {
+            Some(record) => {
+                let point = record.normalized.expect("advisor normalizes records");
+                println!(
+                    "  {label:>7} [{} execution]: {:.1} s, {:.1} kJ — {point}",
+                    record.mode,
+                    record.response_time.value(),
+                    record.energy.as_kilojoules(),
+                );
+            }
+            None => println!("  {label:>7}: infeasible"),
         }
     }
 

@@ -1,10 +1,12 @@
 //! Heterogeneous execution (Section 5.2): when the build-side hash table no
 //! longer fits the Wimpy nodes, they are demoted to scan-and-filter
-//! producers feeding the Beefy nodes — compare against an all-Beefy cluster.
+//! producers feeding the Beefy nodes — compare against an all-Beefy cluster
+//! through the experiment API.
 
-use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, RunOptions};
 use eedc::simkit::catalog::{cluster_v_node, laptop_b};
 use eedc::tpch::ScaleFactor;
+use eedc::{Experiment, Measured, SweepJoin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 50%-selectivity broadcast build side at SF-1000 is a ~30 GB hash
@@ -14,22 +16,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RunOptions::default()
     };
     let query = JoinQuerySpec::new(0.5, 0.05);
+    let workload = SweepJoin::section_5_4(query);
 
-    for spec in [
-        ClusterSpec::homogeneous(cluster_v_node(), 4)?,
-        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 2)?,
-    ] {
-        let cluster = PStoreCluster::load(spec, options)?;
-        let execution = cluster.run(&query, JoinStrategy::Broadcast)?;
-        let measurement = execution.measurement();
+    let report = Experiment::new(&workload)
+        .strategy(JoinStrategy::Broadcast)
+        .design(ClusterSpec::homogeneous(cluster_v_node(), 4)?)
+        .design(ClusterSpec::heterogeneous(
+            cluster_v_node(),
+            2,
+            laptop_b(),
+            2,
+        )?)
+        .estimator(Measured::new(options))
+        .run()?;
+
+    for record in &report.series[0].records {
         println!(
             "{:>5}: {} execution, {:.1} s, {:.1} kJ, EDP {:.0} J*s, {} rows",
-            execution.cluster_label,
-            execution.mode,
-            measurement.response_time.value(),
-            measurement.energy.as_kilojoules(),
-            measurement.edp(),
-            execution.output_rows,
+            record.design,
+            record.mode,
+            record.response_time.value(),
+            record.energy.as_kilojoules(),
+            record.edp(),
+            record
+                .output_rows
+                .expect("measured runs verify cardinality"),
         );
     }
     Ok(())

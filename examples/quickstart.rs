@@ -1,33 +1,32 @@
-//! Quickstart: generate a small TPC-H join, run it through `PStoreCluster`
-//! with a dual-shuffle plan, and print response time, energy, and EDP.
+//! Quickstart: describe the paper's Q3-style sweep join once, run it through
+//! the `Experiment` API under the measured P-store lens, and print response
+//! time, energy, and EDP.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::pstore::{ClusterSpec, JoinQuerySpec};
 use eedc::simkit::catalog::cluster_v_node;
+use eedc::{Experiment, Measured, SweepJoin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Eight Cluster-V nodes on a gigabit switch, loaded with deterministic
-    // engine-scale TPC-H data; time and energy are modeled at SF-400.
-    let spec = ClusterSpec::homogeneous(cluster_v_node(), 8)?;
-    let options = RunOptions::default();
-    let cluster = PStoreCluster::load(spec, options)?;
-
     // The paper's Q3-style join: 5% predicates on both ORDERS and LINEITEM,
-    // executed with the dual-shuffle repartitioning plan of Section 4.3.1.
-    let query = JoinQuerySpec::q3_dual_shuffle();
-    let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
+    // executed with the dual-shuffle repartitioning plan of Section 4.3.1 on
+    // eight Cluster-V nodes. Data is generated at a laptop-sized engine
+    // scale; time and energy are modeled at SF-400.
+    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+    let report = Experiment::new(&workload)
+        .design(ClusterSpec::homogeneous(cluster_v_node(), 8)?)
+        .estimator(Measured::default())
+        .run()?;
 
+    let record = &report.series[0].records[0];
     println!(
         "{} join ({}) on {} [{} execution]",
-        execution.strategy,
-        query.label(),
-        execution.cluster_label,
-        execution.mode,
+        record.strategy, record.workload, record.design, record.mode,
     );
-    for phase in &execution.phases {
+    for phase in &record.phases {
         println!(
             "  {:>5}: {:.2} s ({} bound; scan {:.2} s, network {:.2} s, compute {:.2} s), \
              {:.1} kJ, {:.0} MB over network",
@@ -42,17 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let measurement = execution.measurement();
-    println!("response time: {:.2} s", measurement.response_time.value());
+    println!("response time: {:.2} s", record.response_time.value());
+    println!("energy:        {:.1} kJ", record.energy.as_kilojoules());
+    println!("EDP:           {:.0} J*s", record.edp());
     println!(
-        "energy:        {:.1} kJ",
-        measurement.energy.as_kilojoules()
-    );
-    println!("EDP:           {:.0} J*s", measurement.edp());
-    println!(
-        "output rows:   {} (scalar reference: {})",
-        execution.output_rows,
-        cluster.reference_join_rows(&query)?,
+        "output rows:   {} (verified against the scalar reference join)",
+        record
+            .output_rows
+            .expect("measured runs verify cardinality"),
     );
     Ok(())
 }
