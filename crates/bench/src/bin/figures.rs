@@ -1,7 +1,8 @@
 //! Regenerate the paper's headline numbers as a text report and land the
 //! underlying `RunRecord` series on disk as JSON for the figures pipeline:
-//! the Figure 5 strategy comparison, a design-space sweep under all three
-//! estimator lenses (measured / analytical / behavioural), and the Figure 6
+//! the Figure 5 strategy comparison, a design-space sweep under all four
+//! estimator lenses (measured / analytical / behavioural / traced), the
+//! Section 3.2 DBMS-X-vs-P-store engine comparison, and the Figure 6
 //! single-node sweep.
 //!
 //! ```sh
@@ -10,7 +11,7 @@
 //!
 //! JSON series are written to `output-dir` (default `figures-data/`).
 
-use eedc_core::{Analytical, Behavioural, Experiment, Measured, SweepJoin};
+use eedc_core::{Analytical, Behavioural, Experiment, Measured, SweepJoin, Traced};
 use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
 use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, RunOptions};
 use eedc_simkit::catalog::cluster_v_node;
@@ -62,17 +63,18 @@ fn main() {
         }
     }
 
-    // ---- The design-space sweep, one Experiment invocation, all three
+    // ---- The design-space sweep, one Experiment invocation, all four
     // estimator lenses over the same designs.
     println!();
-    println!("== Design-space sweep: measured vs analytical vs behavioural ==");
+    println!("== Design-space sweep: measured vs analytical vs behavioural vs traced ==");
     let designs = [16usize, 8, 4]
         .map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).expect("spec is valid"));
     match Experiment::new(&workload)
-        .designs(designs)
+        .designs(designs.clone())
         .estimator(Measured::new(bench_options()))
         .estimator(Analytical)
         .estimator(Behavioural::default())
+        .estimator(Traced::pstore())
         .run()
     {
         Ok(report) => {
@@ -94,6 +96,40 @@ fn main() {
             }
         }
         Err(err) => println!("sweep failed: {err}"),
+    }
+
+    // ---- Section 3.2: the engine-behaviour comparison. Same designs, same
+    // workload, but the trace is shaped by the DBMS-X behaviour — disk-staged
+    // intermediates and a mid-query restart — before replay.
+    println!();
+    println!("== Section 3.2: P-store vs DBMS-X engine behaviour (traced) ==");
+    match Experiment::new(&workload)
+        .designs(designs)
+        .estimator(Traced::pstore())
+        .estimator(Traced::dbms_x())
+        .run()
+    {
+        Ok(report) => {
+            let pstore = &report.series[0];
+            let dbms_x = &report.series[1];
+            for (p, x) in pstore.records.iter().zip(&dbms_x.records) {
+                println!(
+                    "  {:>7}: p-store {:6.1} s / {:7.1} kJ  |  dbms-x {:6.1} s / {:7.1} kJ ({:4.2}x energy)",
+                    p.design,
+                    p.response_time.value(),
+                    p.energy.as_kilojoules(),
+                    x.response_time.value(),
+                    x.energy.as_kilojoules(),
+                    x.energy.value() / p.energy.value(),
+                );
+            }
+            let path = out_dir.join("engine_behaviour.json");
+            match report.write_json(&path) {
+                Ok(()) => println!("  -> {}", path.display()),
+                Err(err) => println!("  !! JSON write failed: {err}"),
+            }
+        }
+        Err(err) => println!("engine comparison failed: {err}"),
     }
 
     // ---- Figure 6: the single-node microbenchmark (not a cluster workload;

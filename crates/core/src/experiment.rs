@@ -3,18 +3,23 @@
 //! designs under one or more estimators.
 //!
 //! The paper's whole argument runs on comparing the *same* workload through
-//! three lenses:
+//! four lenses:
 //!
 //! * [`Measured`] — the P-store cluster runtime of Section 5
 //!   (engine-scale correctness, nominal-scale time/energy),
 //! * [`Analytical`] — the closed-form Section 5.4 design model,
-//! * [`Behavioural`] — the first-order Section 3 scaling law.
+//! * [`Behavioural`] — the first-order Section 3.1 scaling law,
+//! * [`Traced`] — the trace-driven behavioural simulator of Sections 3–3.2:
+//!   per-node, per-phase utilization traces replayed through the node power
+//!   models under a configurable engine behaviour (pipelined P-store, or
+//!   the disk-staging / mid-query-restart DBMS-X engine).
 //!
 //! Every lens implements [`Estimator`] and yields the same [`RunRecord`]
 //! shape — response time, energy, EDP, per-node utilization and energy, and
 //! a normalized-vs-reference point — so examples, benches, validation tests
 //! and the figures pipeline stop hand-wiring the comparison. Records
-//! serialize to JSON through [`crate::json`] for the figures pipeline.
+//! serialize to JSON through [`crate::json`] for the figures pipeline, and
+//! reports round-trip back via [`ExperimentReport::from_json`].
 //!
 //! ```no_run
 //! use eedc_core::{Analytical, Behavioural, Experiment, SweepJoin};
@@ -39,14 +44,20 @@ use crate::error::CoreError;
 use crate::json::JsonValue;
 use crate::model::{AnalyticalModel, ModelPrediction, PhasePrediction};
 use crate::workload::{Workload, WorkloadPlan};
-use eedc_dbmsim::BehaviouralModel;
+use eedc_dbmsim::{
+    busy_share_from_utilization, replay, BehaviouralModel, BusyShares, EngineBehaviour,
+    ReplayPhase, UtilizationTrace,
+};
 use eedc_pstore::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
 use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
 use eedc_simkit::metrics::{Measurement, NormalizedPoint, NormalizedSeries};
 use eedc_simkit::units::{Joules, Megabytes, Seconds};
+use eedc_simkit::NodeSpec;
 use eedc_tpch::{QueryId, QueryProfile};
+use std::cell::RefCell;
 use std::io;
 use std::path::Path;
+use std::rc::Rc;
 
 /// One execution phase of a run, shaped identically for measured and modeled
 /// runs (behavioural extrapolations carry no phase breakdown).
@@ -133,10 +144,76 @@ pub struct RunRecord {
     pub normalized: Option<NormalizedPoint>,
 }
 
+impl PhaseRecord {
+    /// Reconstruct a phase record from the JSON shape the writer emits.
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        Ok(Self {
+            label: value.str_field("label")?.to_string(),
+            duration: Seconds(value.f64_field("duration_s")?),
+            energy: Joules(value.f64_field("energy_j")?),
+            bytes_over_network: Megabytes(value.f64_field("bytes_over_network_mb")?),
+            scan_time: Seconds(value.f64_field("scan_time_s")?),
+            network_time: Seconds(value.f64_field("network_time_s")?),
+            compute_time: Seconds(value.f64_field("compute_time_s")?),
+            bottleneck: value.str_field("bottleneck")?.parse()?,
+        })
+    }
+}
+
 impl RunRecord {
     /// Collapse into a [`Measurement`] for normalization / EDP analysis.
     pub fn measurement(&self) -> Measurement {
         Measurement::new(self.response_time, self.energy)
+    }
+
+    /// Reconstruct a record from the JSON shape [`to_json`](Self::to_json)
+    /// emits — the reader half of the figures pipeline, used for baseline
+    /// comparisons against series already on disk.
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        let number_array = |key: &str| -> Result<Vec<f64>, CoreError> {
+            value
+                .array_field(key)?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        CoreError::invalid(format!("JSON field '{key}' holds a non-number"))
+                    })
+                })
+                .collect()
+        };
+        let output_rows = match value.field("output_rows")? {
+            JsonValue::Null => None,
+            _ => Some(value.usize_field("output_rows")?),
+        };
+        let normalized = match value.field("normalized")? {
+            JsonValue::Null => None,
+            point => Some(NormalizedPoint {
+                performance: point.f64_field("performance")?,
+                energy: point.f64_field("energy")?,
+            }),
+        };
+        Ok(Self {
+            workload: value.str_field("workload")?.to_string(),
+            estimator: value.str_field("estimator")?.to_string(),
+            design: value.str_field("design")?.to_string(),
+            strategy: value.str_field("strategy")?.parse()?,
+            mode: value.str_field("mode")?.parse()?,
+            concurrency: value.usize_field("concurrency")?,
+            response_time: Seconds(value.f64_field("response_time_s")?),
+            energy: Joules(value.f64_field("energy_j")?),
+            node_utilization: number_array("node_utilization")?,
+            node_energy: number_array("node_energy_j")?
+                .into_iter()
+                .map(Joules)
+                .collect(),
+            phases: value
+                .array_field("phases")?
+                .iter()
+                .map(PhaseRecord::from_json)
+                .collect::<Result<_, _>>()?,
+            output_rows,
+            normalized,
+        })
     }
 
     /// The Energy-Delay Product in joule·seconds.
@@ -230,10 +307,24 @@ impl Estimator for Box<dyn Estimator> {
 /// checks the distributed join's output cardinality against the scalar
 /// reference join and fails loudly on a mismatch, so a measured
 /// [`RunRecord`] is always an engine-verified point.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Loaded clusters are cached per estimator instance, keyed on the
+/// `(design, options)` pair: generating and partitioning the engine-scale
+/// tables dominates the cost of an estimate, and a multi-plan sweep (a
+/// [`crate::ConcurrencySweep`] is `levels` plans over the same designs)
+/// used to regenerate identical clusters once per plan. Plans that patch
+/// the effective options (a [`crate::SkewedJoin`]'s skew lands in
+/// `options.skew`) key separate entries, so a cache hit is always an
+/// identical cluster.
+#[derive(Debug, Clone)]
 pub struct Measured {
     options: RunOptions,
+    cache: RefCell<Vec<CachedCluster>>,
 }
+
+/// One cached engine-scale cluster: the effective options and node specs
+/// that keyed its load, plus the shared cluster itself.
+type CachedCluster = (RunOptions, Vec<NodeSpec>, Rc<PStoreCluster>);
 
 impl Measured {
     /// A measured estimator loading clusters with the given options. The
@@ -241,12 +332,52 @@ impl Measured {
     /// field (including `None`) replaces whatever the options carry, so the
     /// measured and analytical lenses always evaluate the same workload.
     pub fn new(options: RunOptions) -> Self {
-        Self { options }
+        Self {
+            options,
+            cache: RefCell::new(Vec::new()),
+        }
     }
 
     /// The options used to load clusters.
     pub fn options(&self) -> &RunOptions {
         &self.options
+    }
+
+    /// Number of distinct `(design, options)` clusters currently cached.
+    pub fn cached_clusters(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// The cluster for `(design, options)`, loading and caching it on first
+    /// use.
+    fn cluster(
+        &self,
+        design: &ClusterSpec,
+        options: RunOptions,
+    ) -> Result<Rc<PStoreCluster>, CoreError> {
+        if let Some((_, _, cluster)) =
+            self.cache
+                .borrow()
+                .iter()
+                .find(|(cached_options, nodes, _)| {
+                    *cached_options == options && nodes.as_slice() == design.nodes()
+                })
+        {
+            return Ok(Rc::clone(cluster));
+        }
+        let cluster = Rc::new(PStoreCluster::load(design.clone(), options)?);
+        self.cache
+            .borrow_mut()
+            .push((options, design.nodes().to_vec(), Rc::clone(&cluster)));
+        Ok(cluster)
+    }
+}
+
+/// Two measured estimators are equal when they load clusters the same way;
+/// the cache is a transparent performance detail.
+impl PartialEq for Measured {
+    fn eq(&self, other: &Self) -> bool {
+        self.options == other.options
     }
 }
 
@@ -264,7 +395,7 @@ impl Estimator for Measured {
     fn estimate(&self, plan: &WorkloadPlan, design: &ClusterSpec) -> Result<RunRecord, CoreError> {
         let mut options = self.options;
         options.skew = plan.skew;
-        let cluster = PStoreCluster::load(design.clone(), options)?;
+        let cluster = self.cluster(design, options)?;
         let execution = cluster.run_batch(&plan.query, plan.strategy, plan.sweep.concurrency)?;
         let reference = cluster.reference_join_rows(&plan.query)?;
         if execution.output_rows != reference {
@@ -519,6 +650,179 @@ impl Estimator for Behavioural {
     }
 }
 
+/// The trace-driven lens: synthesize a per-node, per-phase utilization
+/// trace for the plan, shape it with an [`EngineBehaviour`], and replay it
+/// through the node power models — the Section 3 methodology, simulated end
+/// to end (`eedc_dbmsim::trace` / `replay` / `engines`).
+///
+/// The trace is synthesized from the Section 5.4 analytical model's phase
+/// predictions (per-node utilizations, scan/network busy fractions), so the
+/// [`Traced::pstore`] engine — pipelined, never restarting — reproduces the
+/// [`Analytical`] lens exactly. The point of the lens is what the *other*
+/// engines do to the same trace: [`Traced::dbms_x`] models the Section 3.2
+/// DBMS-X behaviour (repartitioned intermediates staged through disk,
+/// plus a mid-query restart), a scenario family no measured P-store run can
+/// reach.
+///
+/// ```
+/// use eedc_core::{Experiment, SweepJoin, Traced};
+/// use eedc_pstore::{ClusterSpec, JoinQuerySpec};
+/// use eedc_simkit::catalog::cluster_v_node;
+///
+/// let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+/// let report = Experiment::new(&workload)
+///     .designs([16, 8, 4].map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).unwrap()))
+///     .estimator(Traced::pstore())
+///     .estimator(Traced::dbms_x())
+///     .run()
+///     .unwrap();
+/// // Section 3.2's shape: the disk-staging, restarting engine pays strictly
+/// // more time and energy than the pipelined engine on every design.
+/// let (pstore, dbms_x) = (&report.series[0], &report.series[1]);
+/// for (p, x) in pstore.records.iter().zip(&dbms_x.records) {
+///     assert!(x.response_time > p.response_time, "{}", p.design);
+///     assert!(x.energy > p.energy, "{}", p.design);
+/// }
+/// // The staged run's phase series carries the extra disk phases.
+/// assert!(dbms_x.records[0].phases.iter().any(|p| p.label.ends_with("/stage")));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traced {
+    engine: EngineBehaviour,
+    name: String,
+}
+
+impl Traced {
+    /// The pipelined, restart-free P-store engine — the baseline the other
+    /// engine behaviours are compared against.
+    pub fn pstore() -> Self {
+        Self {
+            engine: EngineBehaviour::pstore_like(),
+            name: "traced".into(),
+        }
+    }
+
+    /// The Section 3.2 DBMS-X engine: disk-staged intermediates and a
+    /// representative mid-query restart.
+    pub fn dbms_x() -> Self {
+        Self {
+            engine: EngineBehaviour::dbms_x(),
+            name: "traced:dbms-x".into(),
+        }
+    }
+
+    /// A traced lens over a custom engine behaviour (named
+    /// `traced:<engine>` in reports).
+    pub fn with_engine(engine: EngineBehaviour) -> Self {
+        let name = format!("traced:{}", engine.name);
+        Self { engine, name }
+    }
+
+    /// The engine behaviour shaping the replayed traces.
+    pub fn engine(&self) -> &EngineBehaviour {
+        &self.engine
+    }
+
+    /// Synthesize the plan's idealized execution trace on `design` from the
+    /// analytical model's phase predictions: per-node CPU busy shares from
+    /// the predicted utilizations, each node's *own* port busy fraction
+    /// (the closed form knows the exact per-node egress/ingress volumes,
+    /// so a skewed or heterogeneous design's cold nodes are not charged
+    /// the hot port's activity), and — for disk-resident plans — the scan
+    /// fraction on every disk.
+    fn synthesize_trace(
+        plan: &WorkloadPlan,
+        prediction: &ModelPrediction,
+        nodes: &[NodeSpec],
+    ) -> Result<UtilizationTrace, CoreError> {
+        let mut trace = UtilizationTrace::new(plan.label.clone());
+        for phase in &prediction.phases {
+            let disk = if plan.sweep.in_memory {
+                0.0
+            } else {
+                phase.scan_fraction()
+            };
+            let shares = phase
+                .node_utilization
+                .iter()
+                .zip(nodes)
+                .enumerate()
+                .map(|(id, (&u, spec))| BusyShares {
+                    cpu: busy_share_from_utilization(u, spec.utilization_floor),
+                    disk,
+                    network: phase.node_network_fraction(id),
+                })
+                .collect();
+            trace.push_phase(phase.label.clone(), phase.duration, shares)?;
+        }
+        Ok(trace)
+    }
+}
+
+impl Default for Traced {
+    fn default() -> Self {
+        Self::pstore()
+    }
+}
+
+impl Estimator for Traced {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn estimate(&self, plan: &WorkloadPlan, design: &ClusterSpec) -> Result<RunRecord, CoreError> {
+        let model = AnalyticalModel::new(plan.sweep)?;
+        // Feasibility is decided exactly like every other lens: the model
+        // refuses designs whose hash table fits no execution mode, which
+        // the series protocol records as infeasible.
+        let prediction = model.predict_skewed(design, plan.strategy, plan.skew.as_ref())?;
+        let trace = Self::synthesize_trace(plan, &prediction, design.nodes())?;
+        let shaped = self.engine.apply(&trace, design.nodes())?;
+        let result = replay(&shaped, design.nodes())?;
+        Ok(RunRecord {
+            workload: plan.label.clone(),
+            estimator: self.name(),
+            design: prediction.cluster_label.clone(),
+            strategy: plan.strategy,
+            mode: prediction.mode,
+            concurrency: plan.sweep.concurrency,
+            response_time: result.response_time(),
+            energy: result.energy(),
+            node_utilization: result.node_utilization(),
+            node_energy: result.node_energy(),
+            phases: result.phases.iter().map(record_from_replay_phase).collect(),
+            output_rows: None,
+            normalized: None,
+        })
+    }
+}
+
+/// Shape a replayed phase like every other lens's phase record. Replay
+/// reports busy *times* per resource rather than producer/consumer
+/// completion times, so the mapping is: disk busy → `scan_time`, port busy
+/// → `network_time`, CPU busy → `compute_time`, and the bottleneck is the
+/// busiest of the three.
+fn record_from_replay_phase(phase: &ReplayPhase) -> PhaseRecord {
+    let bottleneck =
+        if phase.network_time >= phase.disk_time && phase.network_time >= phase.cpu_time {
+            Bottleneck::Network
+        } else if phase.disk_time >= phase.cpu_time {
+            Bottleneck::Scan
+        } else {
+            Bottleneck::Compute
+        };
+    PhaseRecord {
+        label: phase.label.clone(),
+        duration: phase.duration,
+        energy: phase.energy,
+        bytes_over_network: phase.network_bytes,
+        scan_time: phase.disk_time,
+        network_time: phase.network_time,
+        compute_time: phase.cpu_time,
+        bottleneck,
+    }
+}
+
 /// One estimator's sweep of one workload plan across the experiment's
 /// designs: the uniform records (reference first), the designs the estimator
 /// refused as infeasible, and the normalized series the figures plot.
@@ -545,6 +849,50 @@ impl RunSeries {
     /// The record for a labelled design, if it was feasible.
     pub fn record(&self, design: &str) -> Option<&RunRecord> {
         self.records.iter().find(|r| r.design == design)
+    }
+
+    /// Reconstruct a series from the JSON shape [`to_json`](Self::to_json)
+    /// emits. The normalized series is rebuilt from the records' carried
+    /// points (the reference design leads, exactly as the evaluation
+    /// protocol wrote them).
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        let records: Vec<RunRecord> = value
+            .array_field("records")?
+            .iter()
+            .map(RunRecord::from_json)
+            .collect::<Result<_, _>>()?;
+        let reference = value.str_field("reference")?.to_string();
+        let mut normalized = NormalizedSeries::with_reference(reference.clone());
+        for record in &records {
+            if record.design == reference {
+                continue;
+            }
+            let point = record.normalized.ok_or_else(|| {
+                CoreError::invalid(format!(
+                    "record '{}' in a serialized series has no normalized point",
+                    record.design
+                ))
+            })?;
+            normalized.push(record.design.clone(), point);
+        }
+        let infeasible = value
+            .array_field("infeasible")?
+            .iter()
+            .map(|entry| {
+                Ok((
+                    entry.str_field("design")?.to_string(),
+                    entry.str_field("reason")?.to_string(),
+                ))
+            })
+            .collect::<Result<_, CoreError>>()?;
+        Ok(Self {
+            estimator: value.str_field("estimator")?.to_string(),
+            workload: value.str_field("workload")?.to_string(),
+            strategy: value.str_field("strategy")?.parse()?,
+            records,
+            infeasible,
+            normalized,
+        })
     }
 
     /// Render the series as a JSON object.
@@ -624,6 +972,32 @@ impl ExperimentReport {
             }
         }
         std::fs::write(path, self.to_json_string())
+    }
+
+    /// Reconstruct a report from the JSON shape [`to_json`](Self::to_json)
+    /// emits — `from_json(parse(to_json())) == self` for every report the
+    /// writer can produce.
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        Ok(Self {
+            series: value
+                .array_field("series")?
+                .iter()
+                .map(RunSeries::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Read a report back from a JSON file written by
+    /// [`write_json`](Self::write_json) — the reader half of the figures
+    /// pipeline, for baseline comparisons across runs.
+    pub fn read_json(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|err| {
+            CoreError::invalid(format!(
+                "cannot read report '{}': {err}",
+                path.as_ref().display()
+            ))
+        })?;
+        Self::from_json(&JsonValue::parse(&text)?)
     }
 }
 
@@ -1063,6 +1437,183 @@ mod tests {
     }
 
     #[test]
+    fn traced_pstore_engine_reproduces_the_analytical_lens() {
+        // The synthesized trace carries exactly the analytical model's
+        // per-node utilizations and phase durations, and the pipelined
+        // P-store engine is the identity transformation — so replaying it
+        // must land on the analytical numbers to float precision. This pins
+        // the busy-share round trip through the whole stack.
+        let workload = sweep();
+        let report = Experiment::new(&workload)
+            .designs([homogeneous(16), homogeneous(8), homogeneous(4)])
+            .estimator(Analytical)
+            .estimator(Traced::pstore())
+            .run()
+            .unwrap();
+        let analytical = &report.series[0];
+        let traced = &report.series[1];
+        assert_eq!(traced.estimator, "traced");
+        for (a, t) in analytical.records.iter().zip(&traced.records) {
+            assert_eq!(a.design, t.design);
+            assert!(
+                (a.response_time.value() - t.response_time.value()).abs()
+                    < 1e-9 * a.response_time.value(),
+                "{}: time diverged",
+                a.design
+            );
+            assert!(
+                (a.energy.value() - t.energy.value()).abs() < 1e-9 * a.energy.value(),
+                "{}: energy diverged",
+                a.design
+            );
+            // Per-node vectors line up too.
+            for (au, tu) in a.node_utilization.iter().zip(&t.node_utilization) {
+                assert!((au - tu).abs() < 1e-9);
+            }
+            assert_eq!(t.output_rows, None);
+        }
+    }
+
+    #[test]
+    fn traced_lenses_agree_with_the_other_lenses_on_feasibility() {
+        let workload = sweep();
+        let report = Experiment::new(&workload)
+            .designs([
+                homogeneous(16),
+                ClusterSpec::homogeneous(laptop_b(), 4).unwrap(),
+            ])
+            .estimator(Traced::pstore())
+            .estimator(Traced::dbms_x())
+            .run()
+            .unwrap();
+        for series in &report.series {
+            assert_eq!(series.records.len(), 1, "{}", series.estimator);
+            assert_eq!(series.infeasible.len(), 1, "{}", series.estimator);
+            assert_eq!(series.infeasible[0].0, "0B,4W");
+        }
+        assert_eq!(report.series[1].estimator, "traced:dbms-x");
+    }
+
+    #[test]
+    fn traced_custom_engines_are_first_class() {
+        // A restart-only engine (no staging): the record costs exactly
+        // (1 + restarts × redo) times the pipelined engine.
+        let engine = eedc_dbmsim::EngineBehaviour::new(
+            "flaky",
+            false,
+            eedc_dbmsim::RestartPolicy::new(2, 0.25).unwrap(),
+        )
+        .unwrap();
+        let custom = Traced::with_engine(engine);
+        assert_eq!(custom.name(), "traced:flaky");
+        assert!(!custom.engine().disk_staging);
+        let plan = &sweep().plans()[0];
+        let design = homogeneous(8);
+        let base = Traced::pstore().estimate(plan, &design).unwrap();
+        let flaky = custom.estimate(plan, &design).unwrap();
+        let ratio = flaky.response_time.value() / base.response_time.value();
+        assert!((ratio - 1.5).abs() < 1e-9, "ratio {ratio}");
+        let ratio = flaky.energy.value() / base.energy.value();
+        assert!((ratio - 1.5).abs() < 1e-9, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn skewed_synthesized_traces_carry_per_node_port_activity() {
+        // The closed form knows each node's true egress/ingress volumes, so
+        // the synthesized trace must charge every port its own activity —
+        // not the hot port's. Observable through the record: the traced
+        // phase's port-volume total must sit between the analytical egress
+        // total and strictly below nodes × hot-port volume (what a
+        // phase-level synthesis would charge under skew).
+        let plan = &SkewedJoin::new(
+            SweepJoin::section_5_4(JoinQuerySpec::new(0.2, 0.5)),
+            eedc_pstore::JoinSkew {
+                theta: 1.5,
+                key_domain: 1_000,
+                seed: 7,
+            },
+        )
+        .plans()[0];
+        let design = homogeneous(16);
+        let traced = Traced::pstore().estimate(plan, &design).unwrap();
+        let analytical = Analytical.estimate(plan, &design).unwrap();
+        let bandwidth = cluster_v_node().network_bandwidth.value();
+        for (t, a) in traced.phases.iter().zip(&analytical.phases) {
+            let egress_total = a.bytes_over_network.value();
+            let hot_port_total = 16.0 * a.network_time.value() * bandwidth;
+            assert!(
+                t.bytes_over_network.value() >= egress_total - 1e-6,
+                "{}: port total below the egress total",
+                t.label
+            );
+            assert!(
+                t.bytes_over_network.value() < hot_port_total - 1e-6,
+                "{}: every port charged the hot-port volume",
+                t.label
+            );
+        }
+        // The per-node refinement does not disturb the time/energy identity
+        // with the analytical lens.
+        assert!(
+            (traced.energy.value() - analytical.energy.value()).abs()
+                < 1e-9 * analytical.energy.value()
+        );
+    }
+
+    #[test]
+    fn measured_cache_deduplicates_cluster_loads() {
+        // A concurrency sweep is `levels` plans over the same designs: the
+        // cluster for each (design, options) pair must be generated once,
+        // not once per plan.
+        let options = RunOptions {
+            engine_scale: eedc_tpch::ScaleFactor(0.001),
+            ..RunOptions::default()
+        };
+        let measured = Measured::new(options);
+        assert_eq!(measured.cached_clusters(), 0);
+        let workload = ConcurrencySweep::new(sweep(), [1, 2, 4]);
+        let designs = [homogeneous(4), homogeneous(2)];
+        let report = Experiment::new(&workload)
+            .designs(designs.clone())
+            .estimator(measured.clone())
+            .run()
+            .unwrap();
+        assert_eq!(report.series.len(), 3);
+        // The estimator handed to the experiment was a clone sharing no
+        // state; measure on a fresh instance driven directly instead.
+        let direct = Measured::new(options);
+        for plan in workload.plans() {
+            for design in &designs {
+                direct.estimate(&plan, design).unwrap();
+            }
+        }
+        assert_eq!(
+            direct.cached_clusters(),
+            2,
+            "3 plans x 2 designs -> 2 loads"
+        );
+        // A skewed plan patches the effective options and must key its own
+        // cluster rather than reusing an unskewed one.
+        let skewed = SkewedJoin::new(
+            sweep(),
+            eedc_pstore::JoinSkew {
+                theta: 1.5,
+                key_domain: 1_000,
+                seed: 7,
+            },
+        );
+        direct.estimate(&skewed.plans()[0], &designs[0]).unwrap();
+        assert_eq!(direct.cached_clusters(), 3);
+        // Cache hits return the identical cluster: re-estimating changes
+        // nothing and the records stay engine-verified.
+        let again = direct.estimate(&workload.plans()[0], &designs[0]).unwrap();
+        assert_eq!(direct.cached_clusters(), 3);
+        assert!(again.output_rows.unwrap() > 0);
+        // Equality ignores the cache.
+        assert_eq!(direct, Measured::new(options));
+    }
+
+    #[test]
     fn empty_experiments_are_invalid() {
         let workload = sweep();
         assert!(Experiment::new(&workload)
@@ -1073,6 +1624,39 @@ mod tests {
             .designs([homogeneous(4)])
             .run()
             .is_err());
+    }
+
+    #[test]
+    fn reports_round_trip_through_the_json_reader() {
+        // Two estimators, an infeasible design, phase breakdowns, normalized
+        // points — everything the writer can emit must come back bit-equal,
+        // Display-formatted floats round-trip exactly in Rust.
+        let workload = sweep();
+        let report = Experiment::new(&workload)
+            .designs([
+                homogeneous(16),
+                homogeneous(8),
+                ClusterSpec::homogeneous(laptop_b(), 4).unwrap(),
+            ])
+            .estimator(Analytical)
+            .estimator(Traced::dbms_x())
+            .run()
+            .unwrap();
+        let parsed = JsonValue::parse(&report.to_json_string()).unwrap();
+        let restored = ExperimentReport::from_json(&parsed).unwrap();
+        assert_eq!(restored, report);
+        // And through the file-based path.
+        let dir = std::env::temp_dir().join("eedc-report-roundtrip-test");
+        let path = dir.join("report.json");
+        report.write_json(&path).unwrap();
+        assert_eq!(ExperimentReport::read_json(&path).unwrap(), report);
+        std::fs::remove_dir_all(&dir).ok();
+        // Shape errors surface as errors, not panics.
+        assert!(ExperimentReport::read_json(dir.join("missing.json")).is_err());
+        assert!(ExperimentReport::from_json(&JsonValue::object()).is_err());
+        let mut truncated = JsonValue::object();
+        truncated.set("series", vec![0.0]);
+        assert!(ExperimentReport::from_json(&truncated).is_err());
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Minimal JSON emission for the figures pipeline.
+//! Minimal JSON emission *and parsing* for the figures pipeline.
 //!
 //! The build environment has no registry access, so the workspace's `serde`
 //! is a no-op stand-in (see `vendor/`); this module is the hand-rolled
-//! writer that lets experiment results survive a run on disk. It emits
-//! standard JSON (RFC 8259): escaped strings, `null` for non-finite
-//! numbers, and deterministic key order (insertion order).
+//! writer/reader pair that lets experiment results survive a run on disk
+//! and come back for baseline comparisons. The writer emits standard JSON
+//! (RFC 8259): escaped strings, `null` for non-finite numbers, and
+//! deterministic key order (insertion order). The reader
+//! ([`JsonValue::parse`]) accepts standard JSON and reconstructs the same
+//! [`JsonValue`] tree, so `parse(v.to_json()) == v` for every tree the
+//! writer can produce; typed accessors ([`JsonValue::field`],
+//! [`JsonValue::as_f64`], …) then lift trees back into
+//! [`RunRecord`](crate::RunRecord) series — see
+//! [`ExperimentReport::read_json`](crate::ExperimentReport::read_json).
 
+use crate::error::CoreError;
 use std::fmt::Write as _;
 
 /// A JSON value tree, built imperatively and rendered to a string.
@@ -102,6 +110,310 @@ impl JsonValue {
                     }
                     value.render(out, indent, depth + 1);
                 });
+            }
+        }
+    }
+}
+
+impl JsonValue {
+    /// Parse a JSON document into a value tree. Accepts standard RFC 8259
+    /// JSON (the writer's output always round-trips); trailing non-space
+    /// content is an error.
+    pub fn parse(src: &str) -> Result<Self, CoreError> {
+        let mut parser = Parser { src, pos: 0 };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != src.len() {
+            return Err(parser.error("trailing content after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The value of an object field, if `self` is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`get`](Self::get), but a missing field is an error naming the
+    /// key — the ergonomic spine of the typed readers.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, CoreError> {
+        self.get(key)
+            .ok_or_else(|| CoreError::invalid(format!("missing JSON field '{key}'")))
+    }
+
+    /// The numeric value, if `self` is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if `self` is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order, if `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// A required numeric field of an object.
+    pub fn f64_field(&self, key: &str) -> Result<f64, CoreError> {
+        self.field(key)?
+            .as_f64()
+            .ok_or_else(|| CoreError::invalid(format!("JSON field '{key}' is not a number")))
+    }
+
+    /// A required numeric field read as a non-negative integer.
+    pub fn usize_field(&self, key: &str) -> Result<usize, CoreError> {
+        let n = self.f64_field(key)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(CoreError::invalid(format!(
+                "JSON field '{key}' is not a non-negative integer: {n}"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// A required string field of an object.
+    pub fn str_field(&self, key: &str) -> Result<&str, CoreError> {
+        self.field(key)?
+            .as_str()
+            .ok_or_else(|| CoreError::invalid(format!("JSON field '{key}' is not a string")))
+    }
+
+    /// A required array field of an object.
+    pub fn array_field(&self, key: &str) -> Result<&[JsonValue], CoreError> {
+        self.field(key)?
+            .as_array()
+            .ok_or_else(|| CoreError::invalid(format!("JSON field '{key}' is not an array")))
+    }
+}
+
+/// Recursive-descent JSON parser over a byte cursor; string content is
+/// decoded per escape, everything else is sliced from the source.
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::invalid(format!("JSON at byte {}: {}", self.pos, message.into()))
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), CoreError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, CoreError> {
+        if self.src[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, CoreError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, CoreError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error(format!("invalid number '{}'", &self.src[start..self.pos])))
+    }
+
+    fn string(&mut self) -> Result<String, CoreError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.src[self.pos..];
+            let mut chars = rest.chars();
+            match chars.next() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    let escape = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += escape.len_utf8();
+                    match escape {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.error(format!("invalid escape '\\{other}'")));
+                        }
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// The four hex digits of a `\u` escape, combining UTF-16 surrogate
+    /// pairs when the first unit is a high surrogate.
+    fn unicode_escape(&mut self) -> Result<char, CoreError> {
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            if !self.src[self.pos..].starts_with("\\u") {
+                return Err(self.error("unpaired UTF-16 high surrogate"));
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.error("invalid UTF-16 low surrogate"));
+            }
+            let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"));
+        }
+        char::from_u32(high).ok_or_else(|| self.error("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, CoreError> {
+        let digits = self
+            .src
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(digits, 16)
+            .map_err(|_| self.error(format!("invalid \\u digits '{digits}'")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn array(&mut self) -> Result<JsonValue, CoreError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, CoreError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
             }
         }
     }
@@ -253,5 +565,79 @@ mod tests {
     #[should_panic(expected = "set() on non-object")]
     fn set_on_array_panics() {
         JsonValue::array().set("k", 1.0);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut obj = JsonValue::object();
+        obj.set("name", "8B,0W")
+            .set("time", 12.5)
+            .set("count", 7usize)
+            .set("escaped", "a\"b\\c\nd\te")
+            .set("missing", JsonValue::Null)
+            .set("flag", true);
+        let mut arr = JsonValue::array();
+        arr.push(1.0).push(-2.5e3).push(JsonValue::array());
+        obj.set("series", arr);
+        let mut nested = JsonValue::object();
+        nested.set("performance", 0.75);
+        obj.set("normalized", nested);
+        // Compact and pretty renderings parse back to the identical tree.
+        assert_eq!(JsonValue::parse(&obj.to_json()).unwrap(), obj);
+        assert_eq!(JsonValue::parse(&obj.to_json_pretty()).unwrap(), obj);
+    }
+
+    #[test]
+    fn parse_handles_standard_json() {
+        let v = JsonValue::parse(r#"  { "a" : [ 1 , 2.5e-1, null ], "b": "xAé" } "#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.array_field("a").unwrap()[1].as_f64(), Some(0.25));
+        assert!(v.array_field("a").unwrap()[2].is_null());
+        assert_eq!(v.str_field("b").unwrap(), "xAé");
+        // Surrogate pairs decode to one scalar value.
+        let v = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}x",
+            "nul",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\ud800 unpaired\"",
+            "01x",
+            "{} trailing",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn typed_accessors_surface_shape_errors() {
+        let v = JsonValue::parse(r#"{"n": 1.5, "s": "x", "a": [], "i": 3, "neg": -1}"#).unwrap();
+        assert_eq!(v.f64_field("n").unwrap(), 1.5);
+        assert_eq!(v.usize_field("i").unwrap(), 3);
+        assert_eq!(v.str_field("s").unwrap(), "x");
+        assert!(v.array_field("a").unwrap().is_empty());
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(JsonValue::Bool(true).as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert!(v.field("missing").is_err());
+        assert!(v.f64_field("s").is_err());
+        assert!(v.str_field("n").is_err());
+        assert!(v.array_field("n").is_err());
+        assert!(v.usize_field("n").is_err(), "1.5 is not an integer");
+        assert!(v.usize_field("neg").is_err());
+        // Non-objects have no fields.
+        assert!(JsonValue::Null.get("k").is_none());
+        assert!(JsonValue::Null.as_object().is_none());
+        assert_eq!(v.as_object().unwrap().len(), 5);
     }
 }

@@ -1,15 +1,16 @@
 //! # eedc-core
 //!
-//! The experiment API unifying the paper's three evaluation lenses, plus the
+//! The experiment API unifying the paper's four evaluation lenses, plus the
 //! analytical cluster design model of Section 5.4 and the design-space
 //! advisor of Section 6.
 //!
 //! * [`workload`] — the [`Workload`] trait and its implementations
 //!   ([`SweepJoin`], [`ConcurrencySweep`], Zipf-skewed [`SkewedJoin`],
 //!   profile-driven [`ProfiledQuery`]): *what* is evaluated.
-//! * [`experiment`] — the [`Estimator`] trait and its three lenses
+//! * [`experiment`] — the [`Estimator`] trait and its four lenses
 //!   ([`Measured`] P-store runs, [`Analytical`] closed-form predictions,
-//!   [`Behavioural`] first-order scaling), the builder-style [`Experiment`]
+//!   [`Behavioural`] first-order scaling, [`Traced`] utilization-trace
+//!   replay under engine behaviours), the builder-style [`Experiment`]
 //!   runner, and the uniform [`RunRecord`] every lens yields: *how* it is
 //!   evaluated.
 //! * [`model`] — closed-form per-phase response-time and energy predictions
@@ -21,8 +22,9 @@
 //! * [`advisor`] — enumerates the design grid under *any* estimator,
 //!   normalizes the records against the all-Beefy reference, and returns
 //!   the cheapest design meeting a performance floor.
-//! * [`json`] — the hand-rolled JSON writer that lands [`RunRecord`] series
-//!   on disk for the figures pipeline.
+//! * [`json`] — the hand-rolled JSON writer **and reader** that land
+//!   [`RunRecord`] series on disk for the figures pipeline and read them
+//!   back for baseline comparisons.
 //! * [`params`] — the published working-set sizes of the Section 5.4 sweeps.
 //!
 //! The measured and analytical lenses are validated against each other in
@@ -44,7 +46,7 @@ pub use advisor::{DesignAdvisor, DesignSpace, DesignSpaceReport, Recommendation}
 pub use error::CoreError;
 pub use experiment::{
     Analytical, Behavioural, Estimator, Experiment, ExperimentReport, Measured, PhaseRecord,
-    RunRecord, RunSeries,
+    RunRecord, RunSeries, Traced,
 };
 pub use json::JsonValue;
 pub use model::{AnalyticalModel, ModelPrediction, PhasePrediction, SweepJoin};

@@ -188,6 +188,34 @@ pub struct PhasePrediction {
     pub node_utilization: Vec<f64>,
     /// Predicted per-node energy, in cluster node order; sums to `energy`.
     pub node_energy: Vec<Joules>,
+    /// Time each node's port spends transferring (its busier direction), in
+    /// cluster node order; `network_time` is the maximum. The closed form
+    /// knows the exact per-node egress/ingress volumes, so trace synthesis
+    /// (the `Traced` estimator) carries true per-node port activity instead
+    /// of assuming every node moved the hot-port volume.
+    pub node_network_time: Vec<Seconds>,
+}
+
+impl PhasePrediction {
+    /// Fraction of the phase the slowest producer spends scanning, in
+    /// `[0, 1]` — the scan busy share a utilization-trace synthesis carries
+    /// (mirrors `PhaseStats::scan_fraction`).
+    pub fn scan_fraction(&self) -> f64 {
+        self.busy_fraction(self.scan_time)
+    }
+
+    /// Fraction of the phase node `id`'s port spends transferring, in
+    /// `[0, 1]`.
+    pub fn node_network_fraction(&self, id: usize) -> f64 {
+        self.busy_fraction(self.node_network_time[id])
+    }
+
+    fn busy_fraction(&self, busy: Seconds) -> f64 {
+        if self.duration.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        (busy.value() / self.duration.value()).clamp(0.0, 1.0)
+    }
 }
 
 /// The model's prediction for one design executing the sweep join.
@@ -452,6 +480,7 @@ impl AnalyticalModel {
         let mut scan_time = Seconds::zero();
         let mut network_time = Seconds::zero();
         let mut compute_time = Seconds::zero();
+        let mut node_network_time = Vec::with_capacity(nodes.len());
         for (id, node) in nodes.iter().enumerate() {
             let scan_rate = if self.workload.in_memory {
                 node.cpu_bandwidth
@@ -461,7 +490,9 @@ impl AnalyticalModel {
             scan_time = scan_time.max(scanned[id] * batch / scan_rate);
             compute_time = compute_time.max(movement.computed[id] * batch / node.cpu_bandwidth);
             let port = movement.egress[id].max(movement.ingress[id]);
-            network_time = network_time.max(port * batch / node.network_bandwidth);
+            let port_time = port * batch / node.network_bandwidth;
+            node_network_time.push(port_time);
+            network_time = network_time.max(port_time);
         }
 
         let duration = network_time.max(scan_time).max(compute_time);
@@ -502,6 +533,7 @@ impl AnalyticalModel {
             bottleneck,
             node_utilization,
             node_energy,
+            node_network_time,
         }
     }
 }

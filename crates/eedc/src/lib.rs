@@ -13,7 +13,10 @@
 //! * [`Measured`] — real P-store cluster runs (engine-scale correctness,
 //!   nominal-scale time/energy; Section 5 of the paper),
 //! * [`Analytical`] — the closed-form Section 5.4 design model,
-//! * [`Behavioural`] — the first-order Section 3 scaling law.
+//! * [`Behavioural`] — the first-order Section 3.1 scaling law,
+//! * [`Traced`] — per-node utilization traces replayed through the power
+//!   models under an engine behaviour: the pipelined P-store engine or the
+//!   disk-staging, mid-query-restarting DBMS-X engine of Section 3.2.
 //!
 //! Every lens yields the same [`RunRecord`] shape (response time, energy,
 //! EDP, per-node utilization/energy, normalized-vs-reference point), and
@@ -56,8 +59,11 @@
 //! | [`storage`] | `eedc-storage` | columnar tables, partitioning, scans |
 //! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles, Zipf skew |
 //! | [`pstore`] | `eedc-pstore` | operators, cluster runtime, concurrency, microbench |
-//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS scaling models |
-//! | [`model`] | `eedc-core` | experiment API, Section 5.4 analytical model, Section 6 advisor |
+//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS simulators: scaling law, utilization-trace replay, engine behaviours |
+//! | [`model`] | `eedc-core` | experiment API, Section 5.4 analytical model, Section 6 advisor, JSON writer/reader |
+//!
+//! A crate-by-crate tour with the full data-flow diagram lives in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -74,7 +80,7 @@ pub use eedc_tpch as tpch;
 // level so examples and downstream code write `eedc::Experiment`.
 pub use eedc_core::{
     Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Estimator, Experiment,
-    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, SkewedJoin, SweepJoin,
+    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, SkewedJoin, SweepJoin, Traced,
     Workload, WorkloadPlan,
 };
 

@@ -3,7 +3,7 @@
 //! P-store's operator set is deliberately small (Section 4.2): scans,
 //! selections and projections come from the storage engine; this module adds
 //! the operators the paper built on top of it — the multi-threaded
-//! [`hashjoin`], the grouped [`aggregate`] used by scan-heavy queries such as
+//! [`hashjoin`], the grouped [`mod@aggregate`] used by scan-heavy queries such as
 //! TPC-H Q1, and the network [`exchange`] operator (shuffle, broadcast,
 //! gather) whose behaviour under load is the subject of the whole study.
 

@@ -37,6 +37,23 @@ impl JoinStrategy {
     ];
 }
 
+/// Inverse of the `Display` labels, so serialized run records (the
+/// `eedc_core::json` reader) round-trip.
+impl std::str::FromStr for JoinStrategy {
+    type Err = crate::error::PStoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dual-shuffle" => Ok(JoinStrategy::DualShuffle),
+            "broadcast" => Ok(JoinStrategy::Broadcast),
+            "prepartitioned" => Ok(JoinStrategy::PrePartitioned),
+            other => Err(crate::error::PStoreError::planning(format!(
+                "unknown join strategy '{other}'"
+            ))),
+        }
+    }
+}
+
 /// Parameters of the LINEITEM ⋈ ORDERS hash join the paper studies: the
 /// predicate selectivities on the two inputs.
 ///
@@ -176,6 +193,13 @@ mod tests {
         assert_eq!(JoinStrategy::DualShuffle.to_string(), "dual-shuffle");
         assert_eq!(JoinStrategy::Broadcast.to_string(), "broadcast");
         assert_eq!(JoinStrategy::PrePartitioned.to_string(), "prepartitioned");
+        for strategy in JoinStrategy::ALL {
+            assert_eq!(
+                strategy.to_string().parse::<JoinStrategy>().unwrap(),
+                strategy
+            );
+        }
+        assert!("shuffle".parse::<JoinStrategy>().is_err());
         assert_eq!(JoinStrategy::ALL.len(), 3);
     }
 

@@ -25,6 +25,21 @@ impl fmt::Display for ExecutionMode {
     }
 }
 
+/// Inverse of the `Display` labels, so serialized run records round-trip.
+impl std::str::FromStr for ExecutionMode {
+    type Err = crate::error::PStoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "homogeneous" => Ok(ExecutionMode::Homogeneous),
+            "heterogeneous" => Ok(ExecutionMode::Heterogeneous),
+            other => Err(crate::error::PStoreError::planning(format!(
+                "unknown execution mode '{other}'"
+            ))),
+        }
+    }
+}
+
 /// The resource that bounded a phase's duration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Bottleneck {
@@ -42,6 +57,22 @@ impl fmt::Display for Bottleneck {
             Bottleneck::Scan => write!(f, "scan"),
             Bottleneck::Network => write!(f, "network"),
             Bottleneck::Compute => write!(f, "compute"),
+        }
+    }
+}
+
+/// Inverse of the `Display` labels, so serialized run records round-trip.
+impl std::str::FromStr for Bottleneck {
+    type Err = crate::error::PStoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scan" => Ok(Bottleneck::Scan),
+            "network" => Ok(Bottleneck::Network),
+            "compute" => Ok(Bottleneck::Compute),
+            other => Err(crate::error::PStoreError::planning(format!(
+                "unknown bottleneck '{other}'"
+            ))),
         }
     }
 }
@@ -93,6 +124,32 @@ impl PhaseStats {
         }
         let busy = self.scan_time.max(self.compute_time);
         (1.0 - busy.value() / self.duration.value()).max(0.0)
+    }
+
+    /// Fraction of the phase the slowest producer spent scanning, in
+    /// `[0, 1]` — the scan busy share a utilization-trace export carries
+    /// (see `eedc_dbmsim::trace`).
+    pub fn scan_fraction(&self) -> f64 {
+        self.busy_fraction(self.scan_time)
+    }
+
+    /// Fraction of the phase the network transfer was in flight, in
+    /// `[0, 1]`.
+    pub fn network_fraction(&self) -> f64 {
+        self.busy_fraction(self.network_time)
+    }
+
+    /// Fraction of the phase the slowest consumer spent building or
+    /// probing, in `[0, 1]`.
+    pub fn compute_fraction(&self) -> f64 {
+        self.busy_fraction(self.compute_time)
+    }
+
+    fn busy_fraction(&self, busy: Seconds) -> f64 {
+        if self.duration.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        (busy.value() / self.duration.value()).clamp(0.0, 1.0)
     }
 }
 
@@ -215,11 +272,48 @@ mod tests {
     }
 
     #[test]
+    fn busy_fractions_are_clamped_shares_of_the_duration() {
+        // The fixture sets scan = duration/2, network = duration, compute =
+        // duration/10 — exactly the busy shares a trace export carries.
+        let p = phase("build", 4.0, 1000.0, Bottleneck::Network);
+        assert!((p.scan_fraction() - 0.5).abs() < 1e-12);
+        assert!((p.network_fraction() - 1.0).abs() < 1e-12);
+        assert!((p.compute_fraction() - 0.1).abs() < 1e-12);
+        // A component that outlasts the recorded duration clamps to 1, and a
+        // zero-duration phase reads as fully idle.
+        let long_scan = PhaseStats {
+            scan_time: Seconds(10.0),
+            ..p.clone()
+        };
+        assert_eq!(long_scan.scan_fraction(), 1.0);
+        let idle = PhaseStats {
+            duration: Seconds(0.0),
+            ..p
+        };
+        assert_eq!(idle.network_fraction(), 0.0);
+    }
+
+    #[test]
     fn display_of_enums() {
         assert_eq!(ExecutionMode::Homogeneous.to_string(), "homogeneous");
         assert_eq!(ExecutionMode::Heterogeneous.to_string(), "heterogeneous");
         assert_eq!(Bottleneck::Scan.to_string(), "scan");
         assert_eq!(Bottleneck::Network.to_string(), "network");
         assert_eq!(Bottleneck::Compute.to_string(), "compute");
+    }
+
+    #[test]
+    fn enum_labels_round_trip_through_from_str() {
+        for mode in [ExecutionMode::Homogeneous, ExecutionMode::Heterogeneous] {
+            assert_eq!(mode.to_string().parse::<ExecutionMode>().unwrap(), mode);
+        }
+        for bottleneck in [Bottleneck::Scan, Bottleneck::Network, Bottleneck::Compute] {
+            assert_eq!(
+                bottleneck.to_string().parse::<Bottleneck>().unwrap(),
+                bottleneck
+            );
+        }
+        assert!("homo".parse::<ExecutionMode>().is_err());
+        assert!("disk".parse::<Bottleneck>().is_err());
     }
 }

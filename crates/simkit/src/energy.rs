@@ -6,7 +6,7 @@
 //! probe phase). [`EnergyMeter`] is the simulated analogue of the per-node
 //! WattsUp meters: execution engines record one [`PhaseEnergy`] per phase and
 //! the meter aggregates them into a cluster-level
-//! [`Measurement`](crate::metrics::Measurement).
+//! [`Measurement`].
 
 use crate::error::SimError;
 use crate::metrics::Measurement;

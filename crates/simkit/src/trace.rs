@@ -5,7 +5,7 @@
 //! response time to obtain energy. A [`UtilizationTrace`] is the simulated
 //! analogue of the iLO2 / WattsUp measurement stream: a piecewise-constant
 //! utilization-over-time signal that can be integrated against any
-//! [`PowerModel`](crate::power::PowerModel).
+//! [`PowerModel`].
 
 use crate::error::SimError;
 use crate::power::PowerModel;

@@ -16,7 +16,7 @@
 //! * [`partition`]ing: hash partitioning and replication of tables across
 //!   cluster nodes, exactly like Vertica's hash segmentation in Section 3.1,
 //! * per-node and cluster-wide [`catalog`]s mapping table names to partitions,
-//! * a [`scan`] operator combining block iteration, predicate evaluation and
+//! * a [`scan()`] operator combining block iteration, predicate evaluation and
 //!   column projection, and reporting the scanned/qualifying volumes that the
 //!   energy model needs.
 

@@ -1,0 +1,92 @@
+//! Trace-driven engine what-ifs (Sections 3 and 3.2): run a real join on
+//! the measured P-store lens, export its per-node utilization trace, and
+//! replay that trace under different engine behaviours — the pipelined
+//! P-store engine (which reproduces the measured energy) and the DBMS-X
+//! engine, which stages repartitioned intermediates through disk and pays a
+//! mid-query restart. The same comparison then runs at paper scale through
+//! the `Traced` estimator lens of the experiment API.
+
+use eedc::dbmsim::{replay, EngineBehaviour, UtilizationTrace};
+use eedc::pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc::simkit::catalog::cluster_v_node;
+use eedc::tpch::ScaleFactor;
+use eedc::{Experiment, SweepJoin, Traced};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. A real measured run: engine-scale correctness, nominal-scale
+    // time and energy.
+    let design = ClusterSpec::homogeneous(cluster_v_node(), 4)?;
+    let options = RunOptions {
+        engine_scale: ScaleFactor(0.002),
+        ..RunOptions::default()
+    };
+    let cluster = PStoreCluster::load(design.clone(), options)?;
+    let query = JoinQuerySpec::q3_dual_shuffle();
+    let execution = cluster.run(&query, JoinStrategy::DualShuffle)?;
+    println!(
+        "measured dual-shuffle join on {}: {:.1} s, {:.1} kJ",
+        execution.cluster_label,
+        execution.response_time().value(),
+        execution.energy().as_kilojoules(),
+    );
+
+    // ---- 2. Export the utilization trace — the simulated analogue of the
+    // paper's iLO2 / WattsUp measurement streams.
+    let trace = UtilizationTrace::from_execution(&execution, design.nodes(), options.in_memory)?;
+    println!("\nexported trace ({} phases):", trace.len());
+    for phase in trace.phases() {
+        let shares = &phase.node_shares[0];
+        println!(
+            "  {:>5}: {:6.1} s, node 0 busy shares cpu {:.2} / disk {:.2} / network {:.2}",
+            phase.label,
+            phase.duration.value(),
+            shares.cpu,
+            shares.disk,
+            shares.network,
+        );
+    }
+
+    // ---- 3. Replay under both engine behaviours. The pipelined P-store
+    // engine reproduces the measured energy; DBMS-X pays for staging and
+    // its restart with the CPUs idling at the engine floor.
+    println!("\nreplay under engine behaviours:");
+    for engine in [EngineBehaviour::pstore_like(), EngineBehaviour::dbms_x()] {
+        let shaped = engine.apply(&trace, design.nodes())?;
+        let result = replay(&shaped, design.nodes())?;
+        println!(
+            "  {:>7}: {:6.1} s, {:6.1} kJ over {} phases ({:.2}x measured energy)",
+            engine.name,
+            result.response_time().value(),
+            result.energy().as_kilojoules(),
+            result.phases.len(),
+            result.energy().value() / execution.energy().value(),
+        );
+    }
+
+    // ---- 4. The same what-if at paper scale through the experiment API:
+    // the `Traced` lens synthesizes traces from the analytical model, so no
+    // cluster load is needed for the scale-down sweep.
+    let workload = SweepJoin::section_5_4(query);
+    let report =
+        Experiment::new(&workload)
+            .designs((0..3).map(|i| {
+                ClusterSpec::homogeneous(cluster_v_node(), 16 >> i).expect("spec is valid")
+            }))
+            .estimator(Traced::pstore())
+            .estimator(Traced::dbms_x())
+            .run()?;
+    let pstore = &report.series[0];
+    let dbms_x = &report.series[1];
+    println!("\nSection 5.4 sweep at paper scale, P-store vs DBMS-X engine:");
+    for (p, x) in pstore.records.iter().zip(&dbms_x.records) {
+        println!(
+            "  {:>7}: p-store {:6.1} s / {:7.1} kJ  |  dbms-x {:6.1} s / {:7.1} kJ",
+            p.design,
+            p.response_time.value(),
+            p.energy.as_kilojoules(),
+            x.response_time.value(),
+            x.energy.as_kilojoules(),
+        );
+    }
+    Ok(())
+}
