@@ -1,59 +1,17 @@
-//! Design-space enumeration benchmark: time the Section 6 advisor sweeping
-//! the `(b Beefy, w Wimpy)` grid with the Section 5.4 closed-form model
-//! through the estimator-agnostic experiment API.
+//! Design-space enumeration benchmark: the Section 6 advisor sweeping the
+//! `(b Beefy, w Wimpy)` grid with the Section 5.4 closed-form model through
+//! the estimator-agnostic experiment API, at three grid sizes. The
+//! paper-sized grid re-checks the recommendation at the paper's performance
+//! targets every iteration.
 //!
-//! The sweep is the advisor's hot loop — one estimate per design — so this
-//! reports designs/second at several grid sizes, plus the recommendation at
-//! the paper's performance targets as a correctness spot-check.
-//!
-//! ```sh
-//! cargo bench -p eedc-bench --bench design_space
-//! ```
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_core::{Analytical, DesignAdvisor, DesignSpace, SweepJoin};
-use eedc_pstore::JoinQuerySpec;
-use eedc_simkit::catalog::{cluster_v_node, laptop_b};
-use std::time::Instant;
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
-    let advisor = DesignAdvisor::new(Analytical, &workload);
-
-    println!("design_space: (b Beefy, w Wimpy) grid sweep, dual-shuffle Q3 over 700 GB ⋈ 2.8 TB");
-    for (max_beefy, max_wimpy) in [(8usize, 16usize), (16, 32), (32, 64)] {
-        let space = DesignSpace::new(cluster_v_node(), laptop_b(), max_beefy, max_wimpy)
-            .expect("catalog nodes form a valid design space");
-
-        // Warm-up pass, then the timed passes.
-        let report = advisor.evaluate(&space).expect("sweep evaluates");
-        let passes = 10;
-        let start = Instant::now();
-        for _ in 0..passes {
-            let timed = advisor.evaluate(&space).expect("sweep evaluates");
-            assert_eq!(timed.series.points().len(), report.series.points().len());
-        }
-        let elapsed = start.elapsed();
-        let per_pass = elapsed / passes;
-        let designs_per_sec = space.len() as f64 / per_pass.as_secs_f64();
-
-        println!(
-            "  {max_beefy:>2}B x {max_wimpy:>2}W grid ({:>4} designs, {:>4} feasible): \
-             {:>8.2?} per sweep, {:>9.0} designs/s",
-            space.len(),
-            report.series.points().len(),
-            per_pass,
-            designs_per_sec,
-        );
-    }
-
-    // Correctness spot-check on the paper-sized grid.
-    let space = DesignSpace::new(cluster_v_node(), laptop_b(), 8, 16).expect("space is valid");
-    let report = advisor.evaluate(&space).expect("sweep evaluates");
-    for target in [0.9, 0.75, 0.5] {
-        let pick = report
-            .recommend(target)
-            .expect("the all-Beefy reference always qualifies for targets <= 1");
-        assert!(pick.point.performance + 1e-9 >= target);
-        println!("  target {target:.2}: {pick}");
-    }
+    let mut suite = BenchSuite::new();
+    cases::register_design_space(&mut suite);
+    suite.run(None);
 }

@@ -1,98 +1,16 @@
 //! Engine-behaviour comparison benchmark: DBMS-X versus P-store (Section
-//! 3.2) through the trace-driven `Traced` estimator, timed.
+//! 3.2) through the trace-driven `Traced` estimator, holding the section's
+//! shape strictly at every design point (staging and the mid-query restart
+//! each add energy).
 //!
-//! Each iteration sweeps the Section 5.4 join across the homogeneous
-//! scale-down designs under three engine behaviours — the pipelined P-store
-//! engine, a staging-only engine, and the full DBMS-X engine (staging plus
-//! a mid-query restart) — synthesizing, shaping and replaying a utilization
-//! trace per (engine, design) pair. The correctness spot-checks pin the
-//! Section 3.2 shape: every behavioural addition strictly raises energy on
-//! every design, and the full DBMS-X engine dominates P-store by more than
-//! the restart factor alone.
-//!
-//! ```sh
-//! cargo bench -p eedc-bench --bench engine_comparison
-//! ```
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::time_case;
-use eedc_core::{Experiment, ExperimentReport, SweepJoin, Traced};
-use eedc_dbmsim::{EngineBehaviour, RestartPolicy};
-use eedc_pstore::{ClusterSpec, JoinQuerySpec};
-use eedc_simkit::catalog::cluster_v_node;
-
-const SIZES: [usize; 4] = [16, 12, 8, 4];
-
-fn staging_only() -> Traced {
-    Traced::with_engine(
-        EngineBehaviour::new("staging", true, RestartPolicy::none()).expect("policy is valid"),
-    )
-}
-
-fn sweep() -> ExperimentReport {
-    let workload = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
-    let designs =
-        SIZES.map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).expect("spec is valid"));
-    Experiment::new(&workload)
-        .designs(designs)
-        .estimator(Traced::pstore())
-        .estimator(staging_only())
-        .estimator(Traced::dbms_x())
-        .run()
-        .expect("traced sweep runs")
-}
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    println!(
-        "engine_comparison: 3 engine behaviours x {} cluster sizes",
-        SIZES.len()
-    );
-
-    // Warm-up + correctness pass.
-    let report = sweep();
-    assert_eq!(report.series.len(), 3);
-
-    // The timed loop: one full three-engine sweep per iteration.
-    let mean = time_case("engine_comparison/3_engines_x_4_sizes", 30, || {
-        let timed = sweep();
-        assert_eq!(timed.series.len(), 3);
-    });
-    assert!(mean >= 0.0);
-
-    let pstore = &report.series[0];
-    let staging = &report.series[1];
-    let dbms_x = &report.series[2];
-    for ((p, s), x) in pstore
-        .records
-        .iter()
-        .zip(&staging.records)
-        .zip(&dbms_x.records)
-    {
-        println!(
-            "  {:>7}: p-store {:7.1} kJ | +staging {:7.1} kJ | dbms-x {:7.1} kJ ({:4.2}x)",
-            p.design,
-            p.energy.as_kilojoules(),
-            s.energy.as_kilojoules(),
-            x.energy.as_kilojoules(),
-            x.energy.value() / p.energy.value(),
-        );
-        // Section 3.2's shape, held strictly at every design point:
-        // staging alone raises energy, and the mid-query restart raises it
-        // further still.
-        assert!(s.energy > p.energy, "{}: staging does not cost", p.design);
-        assert!(x.energy > s.energy, "{}: restart does not cost", p.design);
-        assert!(x.response_time > p.response_time, "{}", p.design);
-        // The restart replays half of the staged run: the full engine pays
-        // more than 1.5x the pipelined energy.
-        assert!(
-            x.energy.value() > 1.5 * p.energy.value(),
-            "{}: ratio only {:.3}",
-            p.design,
-            x.energy.value() / p.energy.value(),
-        );
-        // The staged series carries the extra disk phases; the pipelined
-        // series does not.
-        assert!(x.phases.iter().any(|ph| ph.label.ends_with("/stage")));
-        assert!(p.phases.iter().all(|ph| !ph.label.ends_with("/stage")));
-    }
-    println!("  shape checks passed (staging and restart each strictly add energy)");
+    let mut suite = BenchSuite::new();
+    cases::register_engine_comparison(&mut suite);
+    suite.run(None);
 }

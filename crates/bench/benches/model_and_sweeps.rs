@@ -1,14 +1,14 @@
-//! Timing of the model-level sweeps (concurrency levels through the cluster
-//! runtime). Will grow with the analytical model in `eedc-core`.
+//! Timing of the Figures 3–4 concurrency sweep (1/2/4 concurrent joins)
+//! through the experiment API under the measured lens.
+//!
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::{bench_cluster, time_case};
-use eedc_pstore::concurrency::ConcurrencySweep;
-use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    let cluster = bench_cluster(4);
-    let query = JoinQuerySpec::q3_dual_shuffle();
-    time_case("sweeps/concurrency_1_2_4", 3, || {
-        ConcurrencySweep::paper(&cluster, &query, JoinStrategy::DualShuffle).expect("sweep runs");
-    });
+    let mut suite = BenchSuite::new();
+    cases::register_model_and_sweeps(&mut suite);
+    suite.run(None);
 }

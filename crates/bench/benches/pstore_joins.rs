@@ -1,15 +1,15 @@
-//! Wall-clock timing of the three join strategies through the full cluster
-//! runtime (engine execution + network simulation + energy model).
+//! Wall-clock timing of the three join strategies through the experiment
+//! API under the measured lens (engine execution + network simulation +
+//! energy model).
+//!
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::{bench_cluster, time_case};
-use eedc_pstore::{JoinQuerySpec, JoinStrategy};
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    let cluster = bench_cluster(4);
-    let query = JoinQuerySpec::q3_dual_shuffle();
-    for strategy in JoinStrategy::ALL {
-        time_case(&format!("pstore_join/{strategy}"), 5, || {
-            cluster.run(&query, strategy).expect("join runs");
-        });
-    }
+    let mut suite = BenchSuite::new();
+    cases::register_pstore_joins(&mut suite);
+    suite.run(None);
 }

@@ -1,16 +1,14 @@
 //! Wall-clock timing of the Section 5.1 single-node microbenchmark across
 //! the Table 2 machines.
+//!
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::time_case;
-use eedc_pstore::microbench::{single_node_hash_join, MicrobenchOptions};
-use eedc_simkit::HardwareCatalog;
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    let catalog = HardwareCatalog::paper();
-    let options = MicrobenchOptions::default();
-    for spec in catalog.table2_systems() {
-        time_case(&format!("single_node_join/{}", spec.name), 5, || {
-            single_node_hash_join(spec, &options).expect("microbench runs");
-        });
-    }
+    let mut suite = BenchSuite::new();
+    cases::register_single_node_join(&mut suite);
+    suite.run(None);
 }

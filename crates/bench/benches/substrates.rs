@@ -1,31 +1,14 @@
 //! Timing of the substrate layers in isolation: scans, partitioning, and
 //! transfer simulation.
+//!
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::time_case;
-use eedc_netsim::{shuffle_flows, Fabric, TransferSimulator};
-use eedc_simkit::units::{Megabytes, MegabytesPerSec};
-use eedc_storage::{hash_partition, scan, Predicate, Table};
-use eedc_tpch::gen::OrdersGenerator;
-use eedc_tpch::ScaleFactor;
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    let orders = Table::from_orders(OrdersGenerator::new(ScaleFactor(0.01), 1));
-
-    time_case("substrates/scan_orders", 10, || {
-        scan(&orders, &Predicate::orders_custkey_at_most(500), None).expect("scan runs");
-    });
-
-    time_case("substrates/hash_partition", 10, || {
-        hash_partition(&orders, "O_ORDERKEY", 8).expect("partition runs");
-    });
-
-    let fabric = Fabric::uniform(16, MegabytesPerSec(100.0)).expect("fabric builds");
-    let qualifying = vec![Megabytes(400.0); 16];
-    let destinations: Vec<usize> = (0..16).collect();
-    time_case("substrates/transfer_sim", 10, || {
-        let flows = shuffle_flows(&qualifying, &destinations, 0);
-        TransferSimulator::new(&fabric)
-            .run(&flows)
-            .expect("transfer runs");
-    });
+    let mut suite = BenchSuite::new();
+    cases::register_substrates(&mut suite);
+    suite.run(None);
 }

@@ -1,97 +1,17 @@
-//! Vertica cluster-scaling benchmark: replay the Section 3 homogeneous
-//! scale-down study (Figures 1–2) through the behavioural estimator of the
-//! experiment API, timed.
+//! Vertica cluster-scaling benchmark: the Section 3 homogeneous scale-down
+//! study (Figures 1–2) through the behavioural estimator, with the study's
+//! published shape pinned every iteration (Q1 scales linearly, Q12 flattens
+//! against its 0.48 repartition floor, network-bound queries pay the
+//! energy-proportionality gap).
 //!
-//! Each of the paper's profiled queries is extrapolated from the eight-node
-//! Cluster-V reference across the full 1..=48-node range; the timed loop is
-//! one full four-query sweep. The correctness spot-checks pin the study's
-//! published shape: Q1 scales linearly, Q12 flattens against its 0.48
-//! repartition floor, and network-bound queries pay the
-//! energy-proportionality gap as the cluster grows.
-//!
-//! ```sh
-//! cargo bench -p eedc-bench --bench vertica_scaling
-//! ```
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
 
-use eedc_bench::time_case;
-use eedc_core::{Behavioural, Experiment, ExperimentReport, ProfiledQuery};
-use eedc_pstore::ClusterSpec;
-use eedc_simkit::catalog::cluster_v_node;
-use eedc_tpch::QueryId;
-
-const SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 48];
-const QUERIES: [QueryId; 4] = [QueryId::Q1, QueryId::Q3, QueryId::Q12, QueryId::Q21];
-
-fn sweep() -> ExperimentReport {
-    let designs: Vec<ClusterSpec> = SIZES
-        .iter()
-        .map(|&n| ClusterSpec::homogeneous(cluster_v_node(), n).expect("spec is valid"))
-        .collect();
-    let mut experiment = Experiment::new(&ProfiledQuery::vertica_sf1000(QUERIES[0]));
-    for &query in &QUERIES[1..] {
-        experiment = experiment.workload(&ProfiledQuery::vertica_sf1000(query));
-    }
-    experiment
-        .designs(designs)
-        .estimator(Behavioural::default())
-        .run()
-        .expect("behavioural sweep runs")
-}
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
 
 fn main() {
-    println!(
-        "vertica_scaling: SF-1000 scale-down study, {} queries x {} cluster sizes",
-        QUERIES.len(),
-        SIZES.len()
-    );
-
-    // Warm-up + correctness pass.
-    let report = sweep();
-    assert_eq!(report.series.len(), QUERIES.len());
-
-    // The timed loop: one full four-query behavioural sweep per iteration.
-    let mean = time_case("vertica_scaling/4_queries_x_7_sizes", 50, || {
-        let timed = sweep();
-        assert_eq!(timed.series.len(), QUERIES.len());
-    });
-    assert!(mean >= 0.0);
-
-    for series in &report.series {
-        let at = |n: usize| {
-            series
-                .record(&format!("{n}B,0W"))
-                .expect("every size is feasible")
-        };
-        let rel = |n: usize| at(n).response_time.value();
-        println!(
-            "  {:<11} rel time @1/8/48 nodes: {:>6.2} / {:>4.2} / {:>5.3}",
-            series.workload,
-            rel(1),
-            rel(8),
-            rel(48),
-        );
-    }
-
-    // Figure 2(a): Q1 is perfectly partitionable — linear speedup.
-    let q1 = &report.series[0];
-    let t = |s: &eedc_core::RunSeries, n: usize| {
-        s.record(&format!("{n}B,0W")).unwrap().response_time.value()
-    };
-    assert!((t(q1, 16) - 0.5).abs() < 1e-9);
-    assert!((t(q1, 4) - 2.0).abs() < 1e-9);
-
-    // Figure 2(c): Q12 flattens against its 0.48 repartition floor.
-    let q12 = &report.series[2];
-    assert!(t(q12, 48) > 0.48);
-    assert!(t(q12, 48) < t(q12, 16));
-    assert!(t(q12, 16) > 0.5 * t(q12, 8));
-
-    // The energy-proportionality gap: scaling Q12 out keeps buying less
-    // time per joule — energy at 48 nodes exceeds the 8-node reference.
-    let e =
-        |s: &eedc_core::RunSeries, n: usize| s.record(&format!("{n}B,0W")).unwrap().energy.value();
-    assert!(e(q12, 48) > e(q12, 8));
-    // ...while the perfectly-local Q1 holds energy flat as it scales.
-    assert!((e(q1, 48) / e(q1, 8) - 1.0).abs() < 1e-9);
-    println!("  shape checks passed (Q1 linear, Q12 floored at 0.48, energy gap present)");
+    let mut suite = BenchSuite::new();
+    cases::register_vertica_scaling(&mut suite);
+    suite.run(None);
 }

@@ -1,0 +1,199 @@
+//! The benchmark-regression suite: every case from the shared registry,
+//! plus baseline recording and the CI perf gate.
+//!
+//! ```sh
+//! bench_suite [--list] [--filter <substr>] [--json <path>]
+//!             [--record <dir>]
+//!             [--check <dir>] [--threshold <pct>] [--min-delta-ms <ms>]
+//! ```
+//!
+//! * with no mode flag: run the (optionally filtered) suite and print the
+//!   per-case summaries,
+//! * `--record <dir>`: run, then write one baseline file per case under
+//!   `<dir>` (commit `crates/bench/baselines/` to update the gate),
+//! * `--check <dir>`: run, compare each case's median against its
+//!   committed baseline, and exit non-zero naming every regressed case.
+//!   `--threshold` is the allowed slowdown in percent (default 100, i.e.
+//!   2×); `--min-delta-ms` is the absolute jitter slack (default 1 ms),
+//! * `--json <path>`: additionally write the run's full `BenchReport`
+//!   (every sample, not just medians) — CI uploads this as an artifact so
+//!   the perf trajectory accumulates per commit,
+//! * `--filter <substr>`: only run cases whose name contains the substring,
+//! * `--list`: print the registered case names and exit.
+
+use eedc_bench::cases;
+use eedc_bench::harness::{check, record_baselines, BaselineSet, BenchSuite, CheckConfig, Verdict};
+use eedc_simkit::units::Seconds;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    list: bool,
+    filter: Option<String>,
+    json: Option<PathBuf>,
+    record: Option<PathBuf>,
+    check: Option<PathBuf>,
+    threshold_pct: f64,
+    min_delta_ms: f64,
+}
+
+const USAGE: &str = "usage: bench_suite [--list] [--filter <substr>] [--json <path>]\n\
+                     \x20                 [--record <dir>]\n\
+                     \x20                 [--check <dir>] [--threshold <pct>] [--min-delta-ms <ms>]";
+
+/// `Ok(None)` means an explicit `--help` request: print usage and succeed.
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        list: false,
+        filter: None,
+        json: None,
+        record: None,
+        check: None,
+        threshold_pct: 100.0,
+        min_delta_ms: 1.0,
+    };
+    let mut iter = argv.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--list" => args.list = true,
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--record" => args.record = Some(PathBuf::from(value("--record")?)),
+            "--check" => args.check = Some(PathBuf::from(value("--check")?)),
+            "--threshold" => {
+                args.threshold_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold needs a number (percent)".to_string())?;
+            }
+            "--min-delta-ms" => {
+                args.min_delta_ms = value("--min-delta-ms")?
+                    .parse()
+                    .map_err(|_| "--min-delta-ms needs a number (milliseconds)".to_string())?;
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if args.record.is_some() && args.check.is_some() {
+        return Err("--record and --check are mutually exclusive".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut suite = BenchSuite::new();
+    cases::register_all(&mut suite);
+
+    if args.list {
+        for name in suite.case_names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "bench_suite: {} cases{}",
+        suite.len(),
+        args.filter
+            .as_deref()
+            .map(|f| format!(" (filter: '{f}')"))
+            .unwrap_or_default()
+    );
+    let report = suite.run(args.filter.as_deref());
+    if report.cases.is_empty() {
+        eprintln!("no case matches the filter");
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = &args.json {
+        if let Err(err) = report.write_json(path) {
+            eprintln!("writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report -> {}", path.display());
+    }
+
+    if let Some(dir) = &args.record {
+        match record_baselines(&report, dir) {
+            Ok(written) => {
+                println!(
+                    "recorded {} baselines under {}",
+                    written.len(),
+                    dir.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("recording baselines: {err}");
+                ExitCode::from(2)
+            }
+        }
+    } else if let Some(dir) = &args.check {
+        let baselines = match BaselineSet::load(dir) {
+            Ok(baselines) => baselines,
+            Err(err) => {
+                eprintln!("loading baselines: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let config = CheckConfig {
+            threshold_pct: args.threshold_pct,
+            min_delta: Seconds(args.min_delta_ms / 1e3),
+        };
+        let outcome = check(&report, &baselines, config);
+        println!();
+        println!(
+            "check vs {} (threshold +{}%, slack {} ms):",
+            dir.display(),
+            config.threshold_pct,
+            args.min_delta_ms
+        );
+        for case in &outcome.checks {
+            println!("  {case}");
+        }
+        let regressed: Vec<&str> = outcome.regressions().map(|c| c.name.as_str()).collect();
+        let missing = outcome.missing().count();
+        if missing > 0 {
+            println!("{missing} case(s) have no baseline; refresh with --record");
+        }
+        if regressed.is_empty() {
+            println!(
+                "perf gate PASSED ({} case(s) within +{}% of baseline)",
+                outcome
+                    .checks
+                    .iter()
+                    .filter(|c| c.verdict == Verdict::Pass)
+                    .count(),
+                config.threshold_pct
+            );
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "perf gate FAILED: {} regressed case(s): {}",
+                regressed.len(),
+                regressed.join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        ExitCode::SUCCESS
+    }
+}

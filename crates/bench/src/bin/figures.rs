@@ -11,20 +11,13 @@
 //!
 //! JSON series are written to `output-dir` (default `figures-data/`).
 
+use eedc_bench::bench_options;
 use eedc_core::{Analytical, Behavioural, Experiment, Measured, SweepJoin, Traced};
 use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
-use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, RunOptions};
+use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy};
 use eedc_simkit::catalog::cluster_v_node;
 use eedc_simkit::HardwareCatalog;
-use eedc_tpch::ScaleFactor;
 use std::path::PathBuf;
-
-fn bench_options() -> RunOptions {
-    RunOptions {
-        engine_scale: ScaleFactor(0.002),
-        ..RunOptions::default()
-    }
-}
 
 fn main() {
     let out_dir = std::env::args()

@@ -1,0 +1,943 @@
+//! The `BenchSuite` regression harness: warmed-up, per-iteration sampled
+//! timing with robust statistics, JSON reports, and baseline comparison.
+//!
+//! The paper's contribution is quantitative, so the repo's benches have to
+//! be too: a timing that is one aggregate span across all iterations (the
+//! old `time_case`) folds first-iteration cache fill into the mean and
+//! cannot say anything about spread. A [`BenchCase`] instead runs `warmup`
+//! untimed iterations, then times each of `iterations` runs individually
+//! into [`Sample`]s, and a [`Summary`] reduces them with *robust* statistics
+//! — min, median, and the median absolute deviation (MAD) — so one noisy
+//! shared-runner iteration cannot move the number a regression check
+//! compares.
+//!
+//! The pipeline end to end:
+//!
+//! ```text
+//! BenchCase ── execute ──▶ CaseResult (samples + Summary)
+//!     registered in             │
+//! BenchSuite ──── run ────▶ BenchReport ── write_json ──▶ bench-report.json
+//!                               │                         (CI artifact)
+//!                               │   record_baselines
+//!                               ├──────────────────▶ baselines/<case>.json
+//!                               │   check(..)            (committed)
+//!                               ▼
+//!                          CheckReport ─▶ exit code for the CI perf gate
+//! ```
+//!
+//! Reports serialize through [`eedc_core::json`] (the workspace `serde` is a
+//! no-op stand-in) and read back via [`JsonValue::parse`], exactly like the
+//! figures pipeline's [`ExperimentReport`](eedc_core::ExperimentReport).
+
+use eedc_core::error::CoreError;
+use eedc_core::json::JsonValue;
+use eedc_simkit::units::Seconds;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Schema version stamped into every serialized [`BenchReport`]; bump it
+/// when the JSON shape changes so stale committed baselines fail loudly
+/// instead of comparing garbage.
+pub const SCHEMA_VERSION: usize = 1;
+
+/// Errors raised by the harness: report I/O, malformed JSON, or a baseline
+/// the current schema cannot compare against.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Reading or writing a report file failed.
+    Io(PathBuf, io::Error),
+    /// A report failed to parse or was missing required fields.
+    Json(CoreError),
+    /// A structurally valid report the harness must refuse (wrong schema
+    /// version, empty sample list, …).
+    Invalid(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            BenchError::Json(err) => write!(f, "{err}"),
+            BenchError::Invalid(message) => write!(f, "invalid bench report: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(_, err) => Some(err),
+            BenchError::Json(err) => Some(err),
+            BenchError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(err: CoreError) -> Self {
+        BenchError::Json(err)
+    }
+}
+
+/// One timed iteration of a case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample(pub Seconds);
+
+impl Sample {
+    /// The sample's duration.
+    pub fn duration(self) -> Seconds {
+        self.0
+    }
+}
+
+/// Robust statistics over a case's samples. The regression check compares
+/// *medians*: a single stalled iteration on a noisy shared runner moves the
+/// mean and max but not the median, and the MAD gives the check a spread to
+/// report alongside the verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of timed iterations.
+    pub iterations: usize,
+    /// Fastest iteration.
+    pub min: Seconds,
+    /// Slowest iteration.
+    pub max: Seconds,
+    /// Arithmetic mean.
+    pub mean: Seconds,
+    /// Median (midpoint average for even counts).
+    pub median: Seconds,
+    /// Median absolute deviation from the median.
+    pub mad: Seconds,
+}
+
+impl Summary {
+    /// Reduce samples to a summary. Errors on an empty sample list — a case
+    /// always runs at least one timed iteration, so an empty list only
+    /// occurs in a hand-built (malformed) report.
+    pub fn from_samples(samples: &[Sample]) -> Result<Self, BenchError> {
+        if samples.is_empty() {
+            return Err(BenchError::Invalid("summary over zero samples".into()));
+        }
+        let values: Vec<f64> = samples.iter().map(|s| s.0.value()).collect();
+        let median = median_of(values.clone());
+        let mad = median_of(values.iter().map(|v| (v - median).abs()).collect());
+        Ok(Self {
+            iterations: values.len(),
+            min: Seconds(values.iter().copied().fold(f64::INFINITY, f64::min)),
+            max: Seconds(values.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            mean: Seconds(values.iter().sum::<f64>() / values.len() as f64),
+            median: Seconds(median),
+            mad: Seconds(mad),
+        })
+    }
+}
+
+fn median_of(mut values: Vec<f64>) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// A named benchmark case: a closure timed per iteration after untimed
+/// warmup runs. Correctness assertions belong *inside* the closure — a
+/// failing shape check panics the suite regardless of any timing threshold.
+pub struct BenchCase {
+    name: String,
+    warmup: usize,
+    iterations: usize,
+    run: Box<dyn FnMut()>,
+}
+
+impl BenchCase {
+    /// A case with the default 1 warmup + 5 timed iterations.
+    pub fn new(name: impl Into<String>, run: impl FnMut() + 'static) -> Self {
+        Self {
+            name: name.into(),
+            warmup: 1,
+            iterations: 5,
+            run: Box::new(run),
+        }
+    }
+
+    /// Set the number of untimed warmup iterations (cache fill, lazy
+    /// fixture loads).
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Set the number of timed iterations (clamped to at least 1).
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations.max(1);
+        self
+    }
+
+    /// The case name (`group/case` by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Run the case: warmup untimed, then one [`Sample`] per iteration.
+    pub fn execute(&mut self) -> CaseResult {
+        for _ in 0..self.warmup {
+            (self.run)();
+        }
+        let samples: Vec<Sample> = (0..self.iterations)
+            .map(|_| {
+                let start = Instant::now();
+                (self.run)();
+                Sample(Seconds(start.elapsed().as_secs_f64()))
+            })
+            .collect();
+        let summary = Summary::from_samples(&samples).expect("iterations >= 1");
+        CaseResult {
+            name: self.name.clone(),
+            samples,
+            summary,
+        }
+    }
+}
+
+impl fmt::Debug for BenchCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchCase")
+            .field("name", &self.name)
+            .field("warmup", &self.warmup)
+            .field("iterations", &self.iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The timed result of one case: the raw samples and their [`Summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// The case name.
+    pub name: String,
+    /// Per-iteration samples, in execution order.
+    pub samples: Vec<Sample>,
+    /// Robust statistics over `samples`.
+    pub summary: Summary,
+}
+
+impl CaseResult {
+    /// Build a result from raw sample durations (summarizing them) — the
+    /// constructor tests and baseline tooling use.
+    pub fn from_durations(
+        name: impl Into<String>,
+        durations: impl IntoIterator<Item = Seconds>,
+    ) -> Result<Self, BenchError> {
+        let samples: Vec<Sample> = durations.into_iter().map(Sample).collect();
+        let summary = Summary::from_samples(&samples)?;
+        Ok(Self {
+            name: name.into(),
+            samples,
+            summary,
+        })
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut summary = JsonValue::object();
+        summary
+            .set("iterations", self.summary.iterations)
+            .set("min_s", self.summary.min.value())
+            .set("max_s", self.summary.max.value())
+            .set("mean_s", self.summary.mean.value())
+            .set("median_s", self.summary.median.value())
+            .set("mad_s", self.summary.mad.value());
+        let mut obj = JsonValue::object();
+        obj.set("name", self.name.clone())
+            .set(
+                "samples_s",
+                self.samples.iter().map(|s| s.0.value()).collect::<Vec<_>>(),
+            )
+            .set("summary", summary);
+        obj
+    }
+
+    /// Reconstruct from the JSON shape [`to_json`](Self::to_json) emits.
+    pub fn from_json(value: &JsonValue) -> Result<Self, BenchError> {
+        let samples: Vec<Sample> = value
+            .array_field("samples_s")?
+            .iter()
+            .map(|v| {
+                v.as_f64().map(|s| Sample(Seconds(s))).ok_or_else(|| {
+                    BenchError::Json(CoreError::invalid("'samples_s' holds a non-number"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let summary = value.field("summary")?;
+        Ok(Self {
+            name: value.str_field("name")?.to_string(),
+            samples,
+            summary: Summary {
+                iterations: summary.usize_field("iterations")?,
+                min: Seconds(summary.f64_field("min_s")?),
+                max: Seconds(summary.f64_field("max_s")?),
+                mean: Seconds(summary.f64_field("mean_s")?),
+                median: Seconds(summary.f64_field("median_s")?),
+                mad: Seconds(summary.f64_field("mad_s")?),
+            },
+        })
+    }
+}
+
+/// A suite run's full output: every executed case's samples and summary,
+/// plus the environment tag and schema version that make a serialized
+/// report comparable later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Serialization schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: usize,
+    /// Where the run happened (`os-arch-<n>cpu` by default) — recorded so a
+    /// baseline mismatch across machines is visible in the report diff.
+    pub env: String,
+    /// Per-case results, in registration order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl BenchReport {
+    /// The result for a case, if the report holds it.
+    pub fn case(&self, name: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut cases = JsonValue::array();
+        for case in &self.cases {
+            cases.push(case.to_json());
+        }
+        let mut obj = JsonValue::object();
+        obj.set("schema_version", self.schema_version)
+            .set("env", self.env.clone())
+            .set("cases", cases);
+        obj
+    }
+
+    /// Reconstruct from the JSON shape [`to_json`](Self::to_json) emits.
+    /// A schema version newer than [`SCHEMA_VERSION`] is refused.
+    pub fn from_json(value: &JsonValue) -> Result<Self, BenchError> {
+        let schema_version = value.usize_field("schema_version")?;
+        if schema_version > SCHEMA_VERSION {
+            return Err(BenchError::Invalid(format!(
+                "schema version {schema_version} is newer than this harness ({SCHEMA_VERSION}); \
+                 refresh the harness or re-record the baseline"
+            )));
+        }
+        Ok(Self {
+            schema_version,
+            env: value.str_field("env")?.to_string(),
+            cases: value
+                .array_field("cases")?
+                .iter()
+                .map(CaseResult::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parse a serialized report.
+    pub fn parse(src: &str) -> Result<Self, BenchError> {
+        Self::from_json(&JsonValue::parse(src)?)
+    }
+
+    /// Write the report to `path` as pretty-printed JSON, creating parent
+    /// directories as needed.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> Result<(), BenchError> {
+        let path = path.as_ref();
+        let io_err = |err| BenchError::Io(path.to_path_buf(), err);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(io_err)?;
+            }
+        }
+        let mut text = self.to_json().to_json_pretty();
+        text.push('\n');
+        std::fs::write(path, text).map_err(io_err)
+    }
+
+    /// Read a report back from disk.
+    pub fn read_json(path: impl AsRef<Path>) -> Result<Self, BenchError> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|err| BenchError::Io(path.to_path_buf(), err))?;
+        // Prefix every parse-side failure with the file, so a bad baseline
+        // among many names itself instead of failing the whole load mutely.
+        Self::parse(&text).map_err(|err| match err {
+            BenchError::Json(inner) => {
+                BenchError::Json(CoreError::invalid(format!("{}: {inner}", path.display())))
+            }
+            BenchError::Invalid(message) => {
+                BenchError::Invalid(format!("{}: {message}", path.display()))
+            }
+            other => other,
+        })
+    }
+}
+
+/// The case registry: register [`BenchCase`]s, then [`run`](Self::run) them
+/// (optionally filtered) into a [`BenchReport`].
+pub struct BenchSuite {
+    cases: Vec<BenchCase>,
+    env: String,
+}
+
+impl BenchSuite {
+    /// An empty suite tagged with the default environment
+    /// (`os-arch-<n>cpu`).
+    pub fn new() -> Self {
+        Self::with_env(default_env_tag())
+    }
+
+    /// An empty suite with an explicit environment tag.
+    pub fn with_env(env: impl Into<String>) -> Self {
+        Self {
+            cases: Vec::new(),
+            env: env.into(),
+        }
+    }
+
+    /// Register a case. Panics on a duplicate name — the name is the
+    /// baseline key, so a collision is a programming error in the registry.
+    pub fn register(&mut self, case: BenchCase) -> &mut Self {
+        assert!(
+            !self.cases.iter().any(|c| c.name == case.name),
+            "duplicate bench case '{}'",
+            case.name
+        );
+        self.cases.push(case);
+        self
+    }
+
+    /// Registered case names, in registration order.
+    pub fn case_names(&self) -> Vec<&str> {
+        self.cases.iter().map(|c| c.name()).collect()
+    }
+
+    /// Number of registered cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the suite has no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Run every case whose name contains `filter` (all cases when `None`),
+    /// printing a one-line summary per case as it completes.
+    pub fn run(&mut self, filter: Option<&str>) -> BenchReport {
+        let mut cases = Vec::new();
+        for case in &mut self.cases {
+            if let Some(needle) = filter {
+                if !case.name.contains(needle) {
+                    continue;
+                }
+            }
+            let result = case.execute();
+            println!(
+                "{:<44} median {:>9.3} ms  (min {:.3}, mad {:.3}, n={})",
+                result.name,
+                result.summary.median.value() * 1e3,
+                result.summary.min.value() * 1e3,
+                result.summary.mad.value() * 1e3,
+                result.summary.iterations,
+            );
+            cases.push(result);
+        }
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            env: self.env.clone(),
+            cases,
+        }
+    }
+}
+
+impl Default for BenchSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for BenchSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchSuite")
+            .field("env", &self.env)
+            .field("cases", &self.case_names())
+            .finish()
+    }
+}
+
+/// The default environment tag: `os-arch-<n>cpu`.
+pub fn default_env_tag() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    format!(
+        "{}-{}-{cpus}cpu",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+/// File-name slug of a case name: lowercased, every non-alphanumeric run
+/// collapsed to one `-`.
+pub fn case_slug(name: &str) -> String {
+    let mut slug = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.extend(c.to_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    slug.trim_matches('-').to_string()
+}
+
+/// Write one baseline file per case of `report` under `dir`
+/// (`<dir>/<case_slug>.json`, each a single-case [`BenchReport`]), creating
+/// the directory as needed. Cases not in `report` (e.g. filtered out of the
+/// run) keep their existing baseline files. Returns the written paths.
+pub fn record_baselines(
+    report: &BenchReport,
+    dir: impl AsRef<Path>,
+) -> Result<Vec<PathBuf>, BenchError> {
+    let dir = dir.as_ref();
+    let mut written = Vec::new();
+    for case in &report.cases {
+        let single = BenchReport {
+            schema_version: report.schema_version,
+            env: report.env.clone(),
+            cases: vec![case.clone()],
+        };
+        let path = dir.join(format!("{}.json", case_slug(&case.name)));
+        single.write_json(&path)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// The committed baselines a check run compares against: every case found
+/// in a baseline directory's `*.json` files.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineSet {
+    cases: Vec<CaseResult>,
+}
+
+impl BaselineSet {
+    /// An empty set (every check verdict becomes `MissingBaseline`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a baseline case.
+    pub fn insert(&mut self, case: CaseResult) {
+        self.cases.retain(|c| c.name != case.name);
+        self.cases.push(case);
+    }
+
+    /// The baseline for a case name.
+    pub fn get(&self, name: &str) -> Option<&CaseResult> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// Number of baseline cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Load every `*.json` report under `dir` (non-recursive). A missing
+    /// directory is an empty set — the caller decides whether that is an
+    /// error; a malformed or schema-incompatible file always is.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, BenchError> {
+        let dir = dir.as_ref();
+        let mut set = Self::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(set),
+            Err(err) => return Err(BenchError::Io(dir.to_path_buf(), err)),
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let report = BenchReport::read_json(&path)?;
+            for case in report.cases {
+                set.insert(case);
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// How a check run compares current medians against baseline medians.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckConfig {
+    /// Allowed slowdown in percent: a case regresses when its median
+    /// exceeds the baseline median by more than this. 100 means "2× is
+    /// still a pass" — generous enough for shared CI runners.
+    pub threshold_pct: f64,
+    /// Absolute slack: deltas below this never regress, so microsecond
+    /// cases cannot fail on timer jitter alone.
+    pub min_delta: Seconds,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 25.0,
+            min_delta: Seconds(0.001),
+        }
+    }
+}
+
+/// Verdict for one case of a check run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold (or faster than baseline).
+    Pass,
+    /// Median slowed past the threshold and the absolute slack.
+    Regressed,
+    /// The baseline directory has no entry for this case; record one with
+    /// `bench_suite --record`.
+    MissingBaseline,
+}
+
+/// One case's comparison against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseCheck {
+    /// The case name.
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Current run's median.
+    pub current_median: Seconds,
+    /// Baseline median, when a baseline exists.
+    pub baseline_median: Option<Seconds>,
+    /// `current / baseline`, when a baseline exists.
+    pub ratio: Option<f64>,
+}
+
+impl fmt::Display for CaseCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.verdict {
+            Verdict::Pass => "ok       ",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::MissingBaseline => "missing  ",
+        };
+        write!(
+            f,
+            "{tag} {:<44} {:>9.3} ms",
+            self.name,
+            self.current_median.value() * 1e3
+        )?;
+        match (self.baseline_median, self.ratio) {
+            (Some(baseline), Some(ratio)) => write!(
+                f,
+                " vs {:>9.3} ms  ({:+.1}%)",
+                baseline.value() * 1e3,
+                (ratio - 1.0) * 100.0
+            ),
+            _ => write!(f, " (no baseline; record with --record)"),
+        }
+    }
+}
+
+/// The outcome of comparing a [`BenchReport`] against a [`BaselineSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// The configuration the check ran under.
+    pub config: CheckConfig,
+    /// Per-case outcomes, in report order.
+    pub checks: Vec<CaseCheck>,
+}
+
+impl CheckReport {
+    /// The cases that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &CaseCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// The cases with no committed baseline.
+    pub fn missing(&self) -> impl Iterator<Item = &CaseCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::MissingBaseline)
+    }
+
+    /// Whether the gate passes: no regressed case. Missing baselines warn
+    /// but do not fail — a freshly added case would otherwise break CI
+    /// before its baseline can be recorded on the same commit.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// Compare a run's medians against baselines: the heart of the CI perf
+/// gate. Each current case regresses when
+/// `current > baseline * (1 + threshold/100)` *and* the absolute delta
+/// exceeds `min_delta`; improvements and sub-slack jitter pass.
+pub fn check(current: &BenchReport, baselines: &BaselineSet, config: CheckConfig) -> CheckReport {
+    let checks = current
+        .cases
+        .iter()
+        .map(|case| {
+            let current_median = case.summary.median;
+            match baselines.get(&case.name) {
+                None => CaseCheck {
+                    name: case.name.clone(),
+                    verdict: Verdict::MissingBaseline,
+                    current_median,
+                    baseline_median: None,
+                    ratio: None,
+                },
+                Some(baseline) => {
+                    let baseline_median = baseline.summary.median;
+                    let limit = baseline_median * (1.0 + config.threshold_pct / 100.0);
+                    let delta = current_median - baseline_median;
+                    let verdict = if current_median > limit && delta > config.min_delta {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Pass
+                    };
+                    CaseCheck {
+                        name: case.name.clone(),
+                        verdict,
+                        current_median,
+                        baseline_median: Some(baseline_median),
+                        ratio: Some(current_median.value() / baseline_median.value()),
+                    }
+                }
+            }
+        })
+        .collect();
+    CheckReport { config, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, millis: &[f64]) -> CaseResult {
+        CaseResult::from_durations(name, millis.iter().map(|&ms| Seconds(ms / 1e3))).unwrap()
+    }
+
+    fn report_of(cases: Vec<CaseResult>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            env: "test-env".into(),
+            cases,
+        }
+    }
+
+    #[test]
+    fn summary_is_robust_to_one_outlier() {
+        let r = result("stats/odd", &[10.0, 11.0, 12.0, 10.5, 500.0]);
+        let s = r.summary;
+        assert_eq!(s.iterations, 5);
+        assert!((s.median.value() * 1e3 - 11.0).abs() < 1e-9);
+        assert!((s.min.value() * 1e3 - 10.0).abs() < 1e-9);
+        assert!((s.max.value() * 1e3 - 500.0).abs() < 1e-9);
+        // The outlier drags the mean far above the median...
+        assert!(s.mean.value() > 5.0 * s.median.value());
+        // ...but the MAD stays at the scale of the inliers:
+        // deviations from 11 are [1, 0, 1, 0.5, 489] → median 1.
+        assert!((s.mad.value() * 1e3 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_sample_counts_average_the_central_pair() {
+        let s = result("stats/even", &[1.0, 2.0, 4.0, 8.0]).summary;
+        assert!((s.median.value() * 1e3 - 3.0).abs() < 1e-9);
+        assert!((s.mean.value() * 1e3 - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_refused() {
+        assert!(Summary::from_samples(&[]).is_err());
+        assert!(CaseResult::from_durations("x", []).is_err());
+    }
+
+    #[test]
+    fn warmup_runs_are_not_sampled() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let calls = Rc::new(Cell::new(0usize));
+        let counter = Rc::clone(&calls);
+        let mut case = BenchCase::new("harness/count", move || {
+            counter.set(counter.get() + 1);
+        })
+        .warmup(2)
+        .iterations(3);
+        let result = case.execute();
+        assert_eq!(calls.get(), 5, "2 warmup + 3 timed");
+        assert_eq!(result.samples.len(), 3);
+        assert_eq!(result.summary.iterations, 3);
+        assert!(result.summary.min.value() >= 0.0);
+        // Iterations are clamped to at least one.
+        let mut zero = BenchCase::new("harness/zero", || ()).iterations(0);
+        assert_eq!(zero.execute().samples.len(), 1);
+    }
+
+    #[test]
+    fn suite_runs_registered_cases_with_filter() {
+        let mut suite = BenchSuite::with_env("test-env");
+        suite
+            .register(BenchCase::new("group_a/one", || ()).iterations(1).warmup(0))
+            .register(BenchCase::new("group_b/two", || ()).iterations(1).warmup(0));
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.case_names(), vec!["group_a/one", "group_b/two"]);
+        let all = suite.run(None);
+        assert_eq!(all.cases.len(), 2);
+        assert_eq!(all.env, "test-env");
+        assert_eq!(all.schema_version, SCHEMA_VERSION);
+        let filtered = suite.run(Some("group_b"));
+        assert_eq!(filtered.cases.len(), 1);
+        assert_eq!(filtered.cases[0].name, "group_b/two");
+        assert!(suite.run(Some("no-such-case")).cases.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bench case")]
+    fn duplicate_case_names_panic() {
+        let mut suite = BenchSuite::with_env("test-env");
+        suite.register(BenchCase::new("dup", || ()));
+        suite.register(BenchCase::new("dup", || ()));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = report_of(vec![
+            result("a/one", &[1.5, 2.5, 3.5]),
+            result("b/two", &[10.0, 10.0]),
+        ]);
+        let parsed = BenchReport::parse(&report.to_json().to_json_pretty()).unwrap();
+        assert_eq!(parsed, report);
+        let compact = BenchReport::parse(&report.to_json().to_json()).unwrap();
+        assert_eq!(compact, report);
+        assert!(report.case("a/one").is_some());
+        assert!(report.case("missing").is_none());
+    }
+
+    #[test]
+    fn newer_schema_versions_are_refused() {
+        let mut json = report_of(vec![result("a", &[1.0])]).to_json();
+        // Rewrite the version field to a future one.
+        if let JsonValue::Object(fields) = &mut json {
+            fields[0].1 = JsonValue::Number((SCHEMA_VERSION + 1) as f64);
+        }
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn case_slugs_are_filesystem_safe() {
+        assert_eq!(
+            case_slug("pstore_joins/dual-shuffle"),
+            "pstore-joins-dual-shuffle"
+        );
+        assert_eq!(case_slug("Design Space (8x16)"), "design-space-8x16");
+        assert_eq!(case_slug("//x//"), "x");
+    }
+
+    #[test]
+    fn check_passes_within_threshold_and_fails_past_it() {
+        let mut baselines = BaselineSet::new();
+        baselines.insert(result("case/fast", &[10.0, 10.0, 10.0]));
+        baselines.insert(result("case/slow", &[10.0, 10.0, 10.0]));
+        baselines.insert(result("case/improved", &[10.0, 10.0, 10.0]));
+        let current = report_of(vec![
+            result("case/fast", &[11.0, 11.0, 11.0]), // +10%: within 25%
+            result("case/slow", &[30.0, 30.0, 30.0]), // 3x: regressed
+            result("case/improved", &[5.0, 5.0, 5.0]), // faster: pass
+            result("case/new", &[1.0, 1.0, 1.0]),     // no baseline
+        ]);
+        let outcome = check(&current, &baselines, CheckConfig::default());
+        assert!(!outcome.passed());
+        let verdicts: Vec<Verdict> = outcome.checks.iter().map(|c| c.verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Pass,
+                Verdict::Regressed,
+                Verdict::Pass,
+                Verdict::MissingBaseline
+            ]
+        );
+        let regressed: Vec<&str> = outcome.regressions().map(|c| c.name.as_str()).collect();
+        assert_eq!(regressed, vec!["case/slow"]);
+        let missing: Vec<&str> = outcome.missing().map(|c| c.name.as_str()).collect();
+        assert_eq!(missing, vec!["case/new"]);
+        let slow = &outcome.checks[1];
+        assert!((slow.ratio.unwrap() - 3.0).abs() < 1e-9);
+        assert!(slow.to_string().contains("REGRESSED"), "{slow}");
+        assert!(slow.to_string().contains("case/slow"), "{slow}");
+        // A regression-free report passes even with missing baselines.
+        let clean = check(
+            &report_of(vec![result("case/new", &[1.0])]),
+            &baselines,
+            CheckConfig::default(),
+        );
+        assert!(clean.passed());
+        assert_eq!(clean.missing().count(), 1);
+    }
+
+    #[test]
+    fn sub_slack_jitter_never_regresses() {
+        // 3x slower but only 60 µs absolute: under the 1 ms default slack.
+        let mut baselines = BaselineSet::new();
+        baselines.insert(result("micro/tiny", &[0.03]));
+        let current = report_of(vec![result("micro/tiny", &[0.09])]);
+        assert!(check(&current, &baselines, CheckConfig::default()).passed());
+        // With the slack off, the same delta regresses.
+        let strict = CheckConfig {
+            min_delta: Seconds(0.0),
+            ..CheckConfig::default()
+        };
+        assert!(!check(&current, &baselines, strict).passed());
+    }
+
+    #[test]
+    fn baselines_record_and_load_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("eedc-bench-harness-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = report_of(vec![
+            result("disk/one", &[1.0, 2.0, 3.0]),
+            result("disk/two", &[4.0, 5.0]),
+        ]);
+        let written = record_baselines(&report, &dir).unwrap();
+        assert_eq!(written.len(), 2);
+        assert!(written[0].ends_with("disk-one.json"));
+        let set = BaselineSet::load(&dir).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("disk/one").unwrap().summary.iterations, 3);
+        assert!(set.get("absent").is_none());
+        // Re-recording a subset leaves the other baseline file in place.
+        let partial = report_of(vec![result("disk/one", &[9.0])]);
+        record_baselines(&partial, &dir).unwrap();
+        let set = BaselineSet::load(&dir).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("disk/one").unwrap().summary.iterations, 1);
+        // A missing directory loads as an empty set; a malformed file errors.
+        assert!(BaselineSet::load(dir.join("no-such-subdir"))
+            .unwrap()
+            .is_empty());
+        std::fs::write(dir.join("broken.json"), "{not json").unwrap();
+        assert!(BaselineSet::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,42 +1,76 @@
 //! # eedc-bench
 //!
-//! Benchmark harness for the toolkit. The `benches/` targets are plain
+//! The benchmark-regression subsystem. The `benches/` targets are plain
 //! `harness = false` binaries (no external bench framework is available in
-//! this build environment); they share the helpers here. Fleshing the
-//! harness out into timed regression benchmarks is an open item in
-//! `ROADMAP.md`.
+//! this build environment); all of them register their cases from the
+//! shared [`cases`] registry and time them through the [`harness`] —
+//! warmed-up, per-iteration sampling reduced with robust statistics
+//! (min/median/MAD) into JSON [`harness::BenchReport`]s.
+//!
+//! The `bench_suite` binary runs the whole registry and adds the
+//! regression workflow on top:
+//!
+//! ```sh
+//! # refresh the committed baselines
+//! cargo run --release -p eedc-bench --bin bench_suite -- --record crates/bench/baselines
+//! # the CI perf gate: exit non-zero when a case's median regresses
+//! cargo run --release -p eedc-bench --bin bench_suite -- \
+//!     --check crates/bench/baselines --threshold 100
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cases;
+pub mod harness;
+
 use eedc_pstore::{ClusterSpec, PStoreCluster, RunOptions};
 use eedc_simkit::catalog::cluster_v_node;
+use eedc_simkit::units::Seconds;
 use eedc_tpch::ScaleFactor;
 use std::time::Instant;
 
+/// The engine-scale run options every measured bench case loads clusters
+/// with: small enough to iterate, large enough that the joins are real.
+pub fn bench_options() -> RunOptions {
+    RunOptions {
+        engine_scale: ScaleFactor(0.002),
+        ..RunOptions::default()
+    }
+}
+
 /// A small uniform Cluster-V cluster loaded with engine-scale data — the
-/// shared fixture of the join benchmarks.
+/// shared fixture of kernel-level experiments outside the suite (the
+/// suite's own cases go through the experiment API instead).
 pub fn bench_cluster(nodes: usize) -> PStoreCluster {
     let spec =
         ClusterSpec::homogeneous(cluster_v_node(), nodes).expect("bench cluster spec is valid");
-    let options = RunOptions {
-        engine_scale: ScaleFactor(0.002),
-        ..RunOptions::default()
-    };
-    PStoreCluster::load(spec, options).expect("bench cluster loads")
+    PStoreCluster::load(spec, bench_options()).expect("bench cluster loads")
 }
 
 /// Time a closure over `iterations` runs and print a one-line report.
-/// Returns the mean wall-clock seconds per iteration.
+/// Returns the *mean* wall-clock seconds per iteration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use harness::BenchCase / harness::BenchSuite: per-iteration samples with warmup \
+            and robust statistics instead of one aggregate span"
+)]
 pub fn time_case<F: FnMut()>(label: &str, iterations: usize, mut case: F) -> f64 {
-    let iterations = iterations.max(1);
-    let start = Instant::now();
-    for _ in 0..iterations {
-        case();
-    }
-    let mean = start.elapsed().as_secs_f64() / iterations as f64;
-    println!("{label}: {:.3} ms/iter over {iterations} iters", mean * 1e3);
-    mean
+    let samples: Vec<harness::Sample> = (0..iterations.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            case();
+            harness::Sample(Seconds(start.elapsed().as_secs_f64()))
+        })
+        .collect();
+    let summary = harness::Summary::from_samples(&samples).expect("iterations >= 1");
+    println!(
+        "{label}: {:.3} ms/iter over {} iters (median {:.3} ms)",
+        summary.mean.value() * 1e3,
+        summary.iterations,
+        summary.median.value() * 1e3,
+    );
+    summary.mean.value()
 }
 
 #[cfg(test)]
@@ -44,10 +78,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fixture_and_timer_work() {
+    fn fixture_and_deprecated_timer_work() {
         let cluster = bench_cluster(2);
         assert_eq!(cluster.spec().len(), 2);
         let mut runs = 0;
+        #[allow(deprecated)]
         let mean = time_case("noop", 3, || runs += 1);
         assert_eq!(runs, 3);
         assert!(mean >= 0.0);

@@ -221,6 +221,13 @@ impl JsonValue {
             .as_array()
             .ok_or_else(|| CoreError::invalid(format!("JSON field '{key}' is not an array")))
     }
+
+    /// A required boolean field of an object.
+    pub fn bool_field(&self, key: &str) -> Result<bool, CoreError> {
+        self.field(key)?
+            .as_bool()
+            .ok_or_else(|| CoreError::invalid(format!("JSON field '{key}' is not a boolean")))
+    }
 }
 
 /// Recursive-descent JSON parser over a byte cursor; string content is
@@ -289,10 +296,15 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        self.src[start..self.pos]
-            .parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.error(format!("invalid number '{}'", &self.src[start..self.pos])))
+        let text = &self.src[start..self.pos];
+        match text.parse::<f64>() {
+            // An overflowing literal like `1e999` parses to infinity; the
+            // writer renders non-finite numbers as `null`, so a non-finite
+            // parse can only mean an out-of-range document.
+            Ok(n) if n.is_finite() => Ok(JsonValue::Number(n)),
+            Ok(_) => Err(self.error(format!("non-finite number '{text}'"))),
+            Err(_) => Err(self.error(format!("invalid number '{text}'"))),
+        }
     }
 
     fn string(&mut self) -> Result<String, CoreError> {
@@ -620,9 +632,86 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_trailing_garbage_with_position() {
+        // Structurally complete documents followed by junk: the error names
+        // the byte where the junk starts, not a generic parse failure.
+        for (bad, at) in [("{} trailing", 3), ("[1] 2", 4), ("\"s\"x", 3), ("1,", 1)] {
+            let err = JsonValue::parse(bad).unwrap_err().to_string();
+            assert!(err.contains("trailing content"), "{bad:?}: {err}");
+            assert!(err.contains(&format!("byte {at}")), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_strings_and_escapes() {
+        for bad in [
+            "\"open",
+            "\"esc\\",
+            "\"\\u12",
+            "\"\\uZZZZ\"",
+            "{\"k",
+            "{\"k\": \"v",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = JsonValue::parse("\"open").unwrap_err().to_string();
+        assert!(err.contains("unterminated string"), "{err}");
+        let err = JsonValue::parse("\"\\u12\"").unwrap_err().to_string();
+        assert!(err.contains("\\u"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_surrogates() {
+        // High surrogate followed by: nothing, a non-escape, another high
+        // surrogate, or a non-surrogate unit; and a bare low surrogate.
+        for bad in [
+            "\"\\ud800\"",
+            "\"\\ud800x\"",
+            "\"\\ud800\\ud800\"",
+            "\"\\ud800\\u0041\"",
+        ] {
+            let err = JsonValue::parse(bad).unwrap_err().to_string();
+            assert!(err.contains("surrogate"), "{bad:?}: {err}");
+        }
+        // A bare low surrogate is not a valid scalar value either.
+        assert!(JsonValue::parse("\"\\udc00\"").is_err());
+        // A proper pair still decodes.
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_numbers() {
+        // JSON has no literal for NaN/Infinity, and overflowing literals
+        // must not silently become f64::INFINITY.
+        for bad in [
+            "1e999",
+            "-1e999",
+            "1e400",
+            "[1, 1e999]",
+            "NaN",
+            "Infinity",
+            "-Infinity",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = JsonValue::parse("1e999").unwrap_err().to_string();
+        assert!(err.contains("non-finite"), "{err}");
+        // Large-but-finite literals still parse.
+        assert_eq!(JsonValue::parse("1e308").unwrap().as_f64(), Some(1e308));
+        assert_eq!(JsonValue::parse("-2.5e-3").unwrap().as_f64(), Some(-0.0025));
+    }
+
+    #[test]
     fn typed_accessors_surface_shape_errors() {
-        let v = JsonValue::parse(r#"{"n": 1.5, "s": "x", "a": [], "i": 3, "neg": -1}"#).unwrap();
+        let v = JsonValue::parse(r#"{"n": 1.5, "s": "x", "a": [], "i": 3, "neg": -1, "b": true}"#)
+            .unwrap();
         assert_eq!(v.f64_field("n").unwrap(), 1.5);
+        assert!(v.bool_field("b").unwrap());
+        assert!(v.bool_field("n").is_err());
+        assert!(v.bool_field("missing").is_err());
         assert_eq!(v.usize_field("i").unwrap(), 3);
         assert_eq!(v.str_field("s").unwrap(), "x");
         assert!(v.array_field("a").unwrap().is_empty());
@@ -638,6 +727,6 @@ mod tests {
         // Non-objects have no fields.
         assert!(JsonValue::Null.get("k").is_none());
         assert!(JsonValue::Null.as_object().is_none());
-        assert_eq!(v.as_object().unwrap().len(), 5);
+        assert_eq!(v.as_object().unwrap().len(), 6);
     }
 }
