@@ -30,7 +30,8 @@
 
 use crate::error::PStoreError;
 use crate::op::exchange::{broadcast_exchange, shuffle_exchange};
-use crate::op::hashjoin::hash_join;
+use crate::op::hashjoin::hash_join_with;
+use crate::op::kernel::{default_worker_threads, JoinKernelConfig};
 use crate::plan::{JoinQuerySpec, JoinSkew, JoinStrategy};
 use crate::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
 use eedc_netsim::{Fabric, Flow, FlowSet, NodeId, TransferSimulator};
@@ -145,8 +146,13 @@ pub struct RunOptions {
     /// Scale factor whose byte volumes drive the time / energy / memory
     /// models (the paper's experiment scale).
     pub nominal_scale: ScaleFactor,
-    /// Probe worker threads per node for the hash join.
+    /// Probe worker threads per node for the hash join. Defaults to the
+    /// machine's available parallelism via [`default_worker_threads`]; set an
+    /// explicit value (the runtime used to hard-code `2`) to pin it.
     pub threads: usize,
+    /// Morsel / radix tunables of the join kernel. Every configuration
+    /// produces the same join output; see [`JoinKernelConfig`].
+    pub kernel: JoinKernelConfig,
     /// Fraction of node memory reserved for everything that is not the
     /// build-side hash table (buffers, probe working set, OS).
     pub hash_table_headroom: f64,
@@ -173,7 +179,8 @@ impl Default for RunOptions {
         Self {
             engine_scale: ScaleFactor(0.002),
             nominal_scale: ScaleFactor::SF400,
-            threads: 2,
+            threads: default_worker_threads(),
+            kernel: JoinKernelConfig::default(),
             hash_table_headroom: 0.2,
             hash_table_expansion: 2.0,
             in_memory: true,
@@ -209,6 +216,7 @@ impl RunOptions {
         if let Some(skew) = &self.skew {
             skew.validate()?;
         }
+        self.kernel.validate()?;
         Ok(())
     }
 }
@@ -339,12 +347,13 @@ impl PStoreCluster {
         validate_query(query)?;
         let build = scan(&self.orders, &self.build_predicate(query), None)?;
         let probe = scan(&self.lineitem, &self.probe_predicate(query), None)?;
-        let joined = hash_join(
+        let joined = hash_join_with(
             &probe.output,
             "L_ORDERKEY",
             &build.output,
             "O_ORDERKEY",
             self.options.threads,
+            self.options.kernel,
         )?;
         Ok(joined.output_rows)
     }
@@ -477,12 +486,13 @@ impl PStoreCluster {
             if probe_table.is_empty() || build_table.is_empty() {
                 continue;
             }
-            let joined = hash_join(
+            let joined = hash_join_with(
                 probe_table,
                 "L_ORDERKEY",
                 build_table,
                 "O_ORDERKEY",
                 self.options.threads,
+                self.options.kernel,
             )?;
             output_rows += joined.output_rows;
         }

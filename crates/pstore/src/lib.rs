@@ -8,8 +8,10 @@
 //! skew — without the implementation noise of a full DBMS. It is built on the
 //! block-iterator columnar storage engine of `eedc-storage` and adds:
 //!
-//! * physical [`op`]erators: a cache-conscious, multi-threaded hash join, a
-//!   grouped aggregate, and the network [`op::exchange`] operator (shuffle /
+//! * physical [`op`]erators: a cache-conscious, morsel-driven parallel hash
+//!   join (partitioned radix build, morsel-stealing probe, columnar batch
+//!   materialization — see [`op`] for the full pipeline), a grouped
+//!   aggregate, and the network [`op::exchange`] operator (shuffle /
 //!   broadcast / gather) that is the paper's "workhorse",
 //! * [`plan`]s for the three ways the paper executes a two-table join:
 //!   dual-shuffle repartitioning, small-table broadcast, and pre-partitioned
@@ -46,5 +48,6 @@ pub mod stats;
 pub use cluster::{select_execution_mode, ClusterSpec, PStoreCluster, RunOptions};
 pub use error::PStoreError;
 pub use microbench::{single_node_hash_join, MicrobenchResult};
+pub use op::{default_worker_threads, JoinKernelConfig};
 pub use plan::{JoinQuerySpec, JoinSkew, JoinStrategy};
 pub use stats::{ExecutionMode, PhaseStats, QueryExecution};

@@ -10,7 +10,8 @@
 //! power model.
 
 use crate::error::PStoreError;
-use crate::op::hashjoin::hash_join;
+use crate::op::hashjoin::hash_join_with;
+use crate::op::kernel::{default_worker_threads, JoinKernelConfig};
 use eedc_simkit::metrics::Measurement;
 use eedc_simkit::units::{Joules, Megabytes, Seconds};
 use eedc_simkit::{HardwareCatalog, NodeSpec};
@@ -31,8 +32,12 @@ pub struct MicrobenchOptions {
     /// kernel keeps the machine busy but not pegged; 0.85 matches the
     /// calibration notes in the hardware catalog.
     pub utilization: f64,
-    /// Probe worker threads.
+    /// Probe worker threads. Defaults to the machine's available parallelism
+    /// via [`default_worker_threads`]; set an explicit value (the benchmark
+    /// used to hard-code `2`) to pin it.
     pub threads: usize,
+    /// Morsel / radix tunables of the join kernel.
+    pub kernel: JoinKernelConfig,
     /// Seed for the deterministic generators.
     pub seed: u64,
 }
@@ -44,7 +49,8 @@ impl Default for MicrobenchOptions {
             probe_megabytes: Megabytes(2000.0),
             engine_scale: ScaleFactor(0.001),
             utilization: 0.85,
-            threads: 2,
+            threads: default_worker_threads(),
+            kernel: JoinKernelConfig::default(),
             seed: 5,
         }
     }
@@ -69,6 +75,7 @@ impl MicrobenchOptions {
                 self.utilization
             )));
         }
+        self.kernel.validate()?;
         Ok(())
     }
 }
@@ -118,12 +125,13 @@ struct JoinCounts {
 fn correctness_join(options: &MicrobenchOptions) -> Result<JoinCounts, PStoreError> {
     let orders = Table::from_orders(OrdersGenerator::new(options.engine_scale, options.seed));
     let lineitem = Table::from_lineitem(LineitemGenerator::new(options.engine_scale, options.seed));
-    let joined = hash_join(
+    let joined = hash_join_with(
         &lineitem,
         "L_ORDERKEY",
         &orders,
         "O_ORDERKEY",
         options.threads,
+        options.kernel,
     )?;
     Ok(JoinCounts {
         build_rows: joined.build_rows,

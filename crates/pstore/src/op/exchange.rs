@@ -71,20 +71,22 @@ pub fn shuffle_exchange(
 
     for (source, input) in inputs.iter().enumerate() {
         let key_col = input.column_by_name(key)?;
-        // Partition the source fragment by destination.
-        let mut per_destination: Vec<Table> = destinations
-            .iter()
-            .map(|&d| empty_like(input, d, "shuffle_frag"))
-            .collect();
+        // Scatter: one pass computes each row's destination slot, then every
+        // outgoing fragment is materialised with a per-column gather.
+        let mut indices: Vec<Vec<u32>> = vec![Vec::new(); destinations.len()];
         for row in 0..input.row_count() {
             let value = key_col
                 .get(row)
                 .ok_or_else(|| PStoreError::planning("row index out of bounds during shuffle"))?;
             let slot = (hash_of_value(&value) % destinations.len() as u64) as usize;
-            per_destination[slot].append_row_from(input, row)?;
+            indices[slot].push(row as u32);
         }
-        for (slot, fragment) in per_destination.into_iter().enumerate() {
+        for (slot, rows) in indices.iter().enumerate() {
             let destination = destinations[slot];
+            let fragment = input.gather_rows(
+                format!("{}_shuffle_frag_node{destination}", input.name()),
+                rows,
+            );
             flows.push(Flow::with_group(
                 source,
                 destination,

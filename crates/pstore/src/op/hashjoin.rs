@@ -1,16 +1,29 @@
-//! The in-memory hash join operator.
+//! The morsel-driven in-memory hash join operator.
 //!
 //! This is the paper's workhorse compute operator: "our hash join code is
-//! cache-conscious and multi-threaded" (Section 5.1). The build side is
-//! hashed into a partitioned hash table keyed on an integer join key; the
-//! probe side is scanned block-by-block and probed in parallel worker threads
-//! (one per hardware thread by default), with each worker producing an
-//! independent output fragment that is concatenated at the end — operators
-//! never materialise intermediate tuples beyond their own output.
+//! cache-conscious and multi-threaded" (Section 5.1). The kernel runs in
+//! three stages:
+//!
+//! 1. **Partitioned radix build** — build-side keys are hashed once, rows are
+//!    radix-partitioned on the low hash bits (counting sort, no per-key
+//!    allocations), and workers steal partitions to build private
+//!    open-addressing [`RadixTable`]s over `(key, row)` pairs.
+//! 2. **Morsel-stealing probe** — probe rows are consumed in fixed-size
+//!    *morsels* claimed from a shared atomic [`MorselCursor`], so fast
+//!    workers steal work from slow ones instead of idling at a static chunk
+//!    boundary.
+//! 3. **Columnar batch materialization** — each worker accumulates matching
+//!    `(probe_row, build_row)` index pairs per morsel and flushes them with a
+//!    per-column gather into a reusable [`BatchBuilder`]; no row-at-a-time
+//!    `Value` boxing anywhere on the hot path.
+//!
+//! Worker fragments are concatenated column-wise at the end — operators never
+//! materialise intermediate tuples beyond their own output.
 
 use crate::error::PStoreError;
-use eedc_storage::{Column, Schema, Table, Value};
-use std::collections::HashMap;
+use crate::op::kernel::{JoinKernelConfig, KeySlice, MorselCursor, RadixTable};
+use eedc_storage::{hash_i64, BatchBuilder, Schema, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Output of a hash join.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,23 +36,55 @@ pub struct HashJoinOutput {
     pub probe_rows: usize,
     /// Number of output (matching) rows.
     pub output_rows: usize,
+    /// Morsels retired by each probe worker, in worker order. With the
+    /// first-claim scheme every worker retires at least one morsel whenever
+    /// there are at least as many morsels as workers.
+    pub morsels_per_worker: Vec<usize>,
 }
 
-/// Extract the i64 join key of `row` from `column`.
-fn key_at(column: &Column, row: usize) -> Result<i64, PStoreError> {
-    column
-        .get(row)
-        .and_then(|v| v.as_i64())
-        .ok_or_else(|| PStoreError::planning("join keys must be integer columns"))
+/// The output-table name of a join, with bounded growth under chaining.
+///
+/// A naive `{probe}_join_{build}` doubles in length on every chained join
+/// (the previous output becomes the next probe). Instead, a probe name that
+/// is itself a join output is compacted to its original base plus a depth
+/// counter: `LINEITEM_join_ORDERS` joined with `CUSTOMER` becomes
+/// `LINEITEM_join2_CUSTOMER`, then `LINEITEM_join3_…`, and the result is
+/// capped at 64 bytes.
+fn join_output_name(probe: &str, build: &str) -> String {
+    const MAX_LEN: usize = 64;
+    let (base, depth) = match probe.find("_join") {
+        Some(i) => {
+            let digits: String = probe[i + 5..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            (&probe[..i], digits.parse::<u64>().unwrap_or(1))
+        }
+        None => (probe, 0),
+    };
+    let mut name = if depth == 0 {
+        format!("{base}_join_{build}")
+    } else {
+        format!("{base}_join{}_{build}", depth + 1)
+    };
+    if name.len() > MAX_LEN {
+        let mut cut = MAX_LEN;
+        while !name.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        name.truncate(cut);
+    }
+    name
 }
 
 /// Join `probe` against `build` on integer key columns `probe_key` /
-/// `build_key`, producing probe columns followed by build columns.
+/// `build_key` with the default [`JoinKernelConfig`], producing probe columns
+/// followed by build columns.
 ///
 /// `threads` controls the number of probe workers; values of 0 or 1 run the
 /// probe on the calling thread. The output row order depends on the thread
-/// count (fragments are concatenated in worker order), but the output row
-/// *set* does not.
+/// count and morsel schedule (fragments are concatenated in worker order),
+/// but the output row *set* does not.
 pub fn hash_join(
     probe: &Table,
     probe_key: &str,
@@ -47,17 +92,125 @@ pub fn hash_join(
     build_key: &str,
     threads: usize,
 ) -> Result<HashJoinOutput, PStoreError> {
-    let build_key_col = build.column_by_name(build_key)?;
-    let probe_key_col = probe.column_by_name(probe_key)?;
+    hash_join_with(
+        probe,
+        probe_key,
+        build,
+        build_key,
+        threads,
+        JoinKernelConfig::default(),
+    )
+}
 
-    // Build phase: key -> list of build row indices.
-    let mut hash_table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build.row_count());
-    for row in 0..build.row_count() {
-        let key = key_at(build_key_col, row)?;
-        hash_table.entry(key).or_default().push(row as u32);
+/// [`hash_join`] with explicit kernel tunables (morsel size, radix bits).
+/// Every configuration produces the same output row multiset; the tunables
+/// trade cache locality against scheduling overhead.
+pub fn hash_join_with(
+    probe: &Table,
+    probe_key: &str,
+    build: &Table,
+    build_key: &str,
+    threads: usize,
+    config: JoinKernelConfig,
+) -> Result<HashJoinOutput, PStoreError> {
+    config.validate()?;
+    // Resolve both key columns to typed slices up front: unknown columns and
+    // non-integer key types are rejected before any work runs.
+    let build_keys = KeySlice::try_from_column(build.column_by_name(build_key)?)?;
+    let probe_keys = KeySlice::try_from_column(probe.column_by_name(probe_key)?)?;
+
+    let workers = threads.max(1);
+    let partitions = config.partitions();
+    let partition_mask = (partitions - 1) as u64;
+
+    // ---- Stage 1: partitioned radix build -------------------------------
+    let build_rows = build_keys.len();
+    let mut hashes = vec![0u64; build_rows];
+    let hash_range = |hashes: &mut [u64], start: usize| {
+        for (i, hash) in hashes.iter_mut().enumerate() {
+            *hash = hash_i64(build_keys.get(start + i));
+        }
+    };
+    let hash_chunk = build_rows.div_ceil(workers).max(1);
+    if workers <= 1 || build_rows <= hash_chunk {
+        hash_range(&mut hashes, 0);
+    } else {
+        std::thread::scope(|scope| {
+            for (index, chunk) in hashes.chunks_mut(hash_chunk).enumerate() {
+                let hash_range = &hash_range;
+                scope.spawn(move || hash_range(chunk, index * hash_chunk));
+            }
+        });
     }
 
-    // The output schema is probe columns followed by build columns.
+    // Counting sort by partition id (the low radix bits of the hash): one
+    // flat `ordered_rows` array replaces any per-partition or per-key Vecs.
+    let mut offsets = vec![0usize; partitions + 1];
+    for &hash in &hashes {
+        offsets[(hash & partition_mask) as usize + 1] += 1;
+    }
+    for p in 0..partitions {
+        offsets[p + 1] += offsets[p];
+    }
+    let mut cursors: Vec<usize> = offsets[..partitions].to_vec();
+    let mut ordered_rows = vec![0u32; build_rows];
+    let mut ordered_hashes = vec![0u64; build_rows];
+    for (row, &hash) in hashes.iter().enumerate() {
+        let p = (hash & partition_mask) as usize;
+        ordered_rows[cursors[p]] = row as u32;
+        ordered_hashes[cursors[p]] = hash;
+        cursors[p] += 1;
+    }
+    drop(hashes);
+
+    // Workers steal whole partitions and build private open-addressing
+    // tables; nothing is shared mutably, so no locks anywhere.
+    let build_partition = |p: usize| {
+        let range = offsets[p]..offsets[p + 1];
+        let mut table = RadixTable::with_capacity(range.len(), config.radix_bits);
+        for i in range {
+            let row = ordered_rows[i];
+            table.insert(build_keys.get(row as usize), row, ordered_hashes[i]);
+        }
+        table
+    };
+    let build_workers = workers.min(partitions);
+    let tables: Vec<RadixTable> = if build_workers <= 1 {
+        (0..partitions).map(build_partition).collect()
+    } else {
+        let next = AtomicUsize::new(build_workers);
+        let mut slots: Vec<Option<RadixTable>> = (0..partitions).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..build_workers)
+                .map(|w| {
+                    let build_partition = &build_partition;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut built = vec![(w, build_partition(w))];
+                        loop {
+                            let p = next.fetch_add(1, Ordering::Relaxed);
+                            if p >= partitions {
+                                break;
+                            }
+                            built.push((p, build_partition(p)));
+                        }
+                        built
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (p, table) in handle.join().expect("build worker must not panic") {
+                    slots[p] = Some(table);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|t| t.expect("every partition was built"))
+            .collect()
+    };
+
+    // ---- Stages 2 + 3: morsel-stealing probe, columnar materialization --
     let output_schema = Schema::new(
         probe
             .schema()
@@ -66,82 +219,87 @@ pub fn hash_join(
             .chain(build.schema().columns())
             .map(|(name, ty)| (name.clone(), *ty)),
     );
+    let probe_rows = probe_keys.len();
+    let probe_width = probe.schema().len();
+    let cursor = MorselCursor::new(probe_rows, config.morsel_rows, workers);
+    let tables = &tables;
 
-    let probe_rows = probe.row_count();
-    let workers = threads.max(1).min(probe_rows.max(1));
-    let chunk = probe_rows.div_ceil(workers.max(1)).max(1);
-
-    // Each worker probes an independent row range and produces its own output
-    // fragment; fragments are concatenated afterwards.
-    let probe_fragment = |range: std::ops::Range<usize>| -> Result<Table, PStoreError> {
-        let mut fragment =
-            Table::with_capacity("join_fragment", output_schema.clone(), range.len());
-        for probe_row in range {
-            let key = key_at(probe_key_col, probe_row)?;
-            if let Some(matches) = hash_table.get(&key) {
-                let probe_values: Vec<Value> =
-                    probe.row(probe_row).expect("probe row index in range");
-                for &build_row in matches {
-                    let mut values = probe_values.clone();
-                    values.extend(
-                        build
-                            .row(build_row as usize)
-                            .expect("build row index from hash table"),
-                    );
-                    fragment.append_row(&values)?;
-                }
+    let probe_worker = |worker: usize| -> Result<(Table, usize), PStoreError> {
+        let mut batch = BatchBuilder::new(output_schema.clone());
+        let mut probe_idx: Vec<u32> = Vec::new();
+        let mut build_idx: Vec<u32> = Vec::new();
+        let mut retired = 0usize;
+        // First-claim morsel, then steal from the shared cursor until drained.
+        let mut morsel = (worker < cursor.morsels()).then_some(worker);
+        while let Some(m) = morsel {
+            for row in cursor.range_of(m) {
+                let key = probe_keys.get(row);
+                let hash = hash_i64(key);
+                let matched =
+                    tables[(hash & partition_mask) as usize].probe_into(key, hash, &mut build_idx);
+                probe_idx.extend(std::iter::repeat_n(row as u32, matched));
             }
+            if !probe_idx.is_empty() {
+                batch.gather_table(probe, &probe_idx, 0)?;
+                batch.gather_table(build, &build_idx, probe_width)?;
+                probe_idx.clear();
+                build_idx.clear();
+            }
+            retired += 1;
+            morsel = cursor.claim();
         }
-        Ok(fragment)
+        Ok((batch.finish("join_fragment")?, retired))
     };
 
-    let fragments: Vec<Table> = if workers <= 1 || probe_rows == 0 {
-        vec![probe_fragment(0..probe_rows)?]
+    let results: Vec<(Table, usize)> = if workers <= 1 {
+        vec![probe_worker(0)?]
     } else {
-        let ranges: Vec<std::ops::Range<usize>> = (0..workers)
-            .map(|w| (w * chunk).min(probe_rows)..((w + 1) * chunk).min(probe_rows))
-            .filter(|r| !r.is_empty())
-            .collect();
-        let mut results: Vec<Option<Result<Table, PStoreError>>> =
-            (0..ranges.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<(Table, usize), PStoreError>>> =
+            (0..workers).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(ranges.len());
-            for range in &ranges {
-                let range = range.clone();
-                let probe_fragment = &probe_fragment;
-                handles.push(scope.spawn(move || probe_fragment(range)));
-            }
-            for (slot, handle) in results.iter_mut().zip(handles) {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let probe_worker = &probe_worker;
+                    scope.spawn(move || probe_worker(w))
+                })
+                .collect();
+            for (slot, handle) in slots.iter_mut().zip(handles) {
                 *slot = Some(handle.join().expect("probe worker must not panic"));
             }
         });
-        results
+        slots
             .into_iter()
             .map(|r| r.expect("every worker produced a result"))
             .collect::<Result<Vec<_>, _>>()?
     };
 
     let mut output = Table::with_capacity(
-        format!("{}_join_{}", probe.name(), build.name()),
+        join_output_name(probe.name(), build.name()),
         output_schema,
-        fragments.iter().map(Table::row_count).sum(),
+        results
+            .iter()
+            .map(|(fragment, _)| fragment.row_count())
+            .sum(),
     );
-    for fragment in &fragments {
+    let mut morsels_per_worker = Vec::with_capacity(results.len());
+    for (fragment, retired) in &results {
         output.append_table(fragment)?;
+        morsels_per_worker.push(*retired);
     }
 
     Ok(HashJoinOutput {
-        build_rows: build.row_count(),
+        build_rows,
         probe_rows,
         output_rows: output.row_count(),
         output,
+        morsels_per_worker,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eedc_storage::{ColumnType, Predicate};
+    use eedc_storage::{ColumnType, Predicate, Value};
     use eedc_tpch::gen::{LineitemGenerator, OrdersGenerator};
     use eedc_tpch::scale::ScaleFactor;
 
@@ -191,30 +349,62 @@ mod tests {
         let serial = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1).unwrap();
         let parallel = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 8).unwrap();
         assert_eq!(serial.output_rows, parallel.output_rows);
-        // Compare multisets of (orderkey, extendedprice) pairs.
-        let signature = |t: &Table| {
-            let mut sig: Vec<(i64, i64)> = (0..t.row_count())
-                .map(|i| {
-                    (
-                        t.column_by_name("L_ORDERKEY")
-                            .unwrap()
-                            .get(i)
-                            .unwrap()
-                            .as_i64()
-                            .unwrap(),
-                        t.column_by_name("L_EXTENDEDPRICE")
-                            .unwrap()
-                            .get(i)
-                            .unwrap()
-                            .as_i64()
-                            .unwrap(),
-                    )
-                })
-                .collect();
-            sig.sort_unstable();
-            sig
+        // Compare multisets of full output rows.
+        let columns = ["L_ORDERKEY", "L_EXTENDEDPRICE", "O_ORDERKEY", "O_CUSTKEY"];
+        assert_eq!(
+            serial.output.sorted_row_signature(&columns).unwrap(),
+            parallel.output.sorted_row_signature(&columns).unwrap()
+        );
+    }
+
+    #[test]
+    fn kernel_config_does_not_change_the_result_set() {
+        let li = lineitem();
+        let ord = orders();
+        let reference = hash_join(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1).unwrap();
+        let columns = ["L_ORDERKEY", "L_EXTENDEDPRICE", "O_ORDERKEY", "O_CUSTKEY"];
+        let expected = reference.output.sorted_row_signature(&columns).unwrap();
+        for (morsel_rows, radix_bits) in [(64, 0), (1 << 20, 8), (100, 4)] {
+            let config = JoinKernelConfig {
+                morsel_rows,
+                radix_bits,
+            };
+            let joined = hash_join_with(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 3, config).unwrap();
+            assert_eq!(
+                joined.output.sorted_row_signature(&columns).unwrap(),
+                expected,
+                "config {config:?} changed the result set"
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_accounting_covers_the_probe_side() {
+        let li = lineitem();
+        let config = JoinKernelConfig {
+            morsel_rows: 100,
+            ..JoinKernelConfig::default()
         };
-        assert_eq!(signature(&serial.output), signature(&parallel.output));
+        let joined = hash_join_with(&li, "L_ORDERKEY", &orders(), "O_ORDERKEY", 4, config).unwrap();
+        assert_eq!(joined.morsels_per_worker.len(), 4);
+        let total: usize = joined.morsels_per_worker.iter().sum();
+        assert_eq!(total, li.row_count().div_ceil(100));
+    }
+
+    #[test]
+    fn invalid_kernel_configs_are_rejected() {
+        let li = lineitem();
+        let ord = orders();
+        let zero_morsels = JoinKernelConfig {
+            morsel_rows: 0,
+            ..JoinKernelConfig::default()
+        };
+        assert!(hash_join_with(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1, zero_morsels).is_err());
+        let too_many_bits = JoinKernelConfig {
+            radix_bits: 13,
+            ..JoinKernelConfig::default()
+        };
+        assert!(hash_join_with(&li, "L_ORDERKEY", &ord, "O_ORDERKEY", 1, too_many_bits).is_err());
     }
 
     #[test]
@@ -281,5 +471,31 @@ mod tests {
         let mut probe = Table::empty("P", Schema::new([("P_KEY", ColumnType::Int64)]));
         probe.append_row(&[Value::Int64(1)]).unwrap();
         assert!(hash_join(&probe, "P_KEY", &build, "B_KEY", 1).is_err());
+    }
+
+    #[test]
+    fn chained_join_names_stay_bounded() {
+        assert_eq!(
+            join_output_name("LINEITEM", "ORDERS"),
+            "LINEITEM_join_ORDERS"
+        );
+        assert_eq!(
+            join_output_name("LINEITEM_join_ORDERS", "CUSTOMER"),
+            "LINEITEM_join2_CUSTOMER"
+        );
+        assert_eq!(
+            join_output_name("LINEITEM_join2_CUSTOMER", "NATION"),
+            "LINEITEM_join3_NATION"
+        );
+        // Names never exceed the cap even for pathological inputs.
+        let long = "X".repeat(200);
+        assert!(join_output_name(&long, &long).len() <= 64);
+        // And the output table actually carries the compacted name.
+        let mut t = Table::empty("A_join_B", Schema::new([("K", ColumnType::Int64)]));
+        t.append_row(&[Value::Int64(1)]).unwrap();
+        let mut u = Table::empty("C", Schema::new([("K2", ColumnType::Int64)]));
+        u.append_row(&[Value::Int64(1)]).unwrap();
+        let joined = hash_join(&t, "K", &u, "K2", 1).unwrap();
+        assert_eq!(joined.output.name(), "A_join2_C");
     }
 }

@@ -176,6 +176,27 @@ impl Column {
         Ok(())
     }
 
+    /// Append a value without checking its type against the column.
+    ///
+    /// The batched kernel append path: the caller has already validated the
+    /// schema once for the whole batch, so per-value re-validation is a
+    /// `debug_assert!`. In release builds a mismatched value is silently
+    /// dropped (the caller's contract is that this never happens).
+    #[inline]
+    pub fn push_unchecked(&mut self, value: Value) {
+        match (self, value) {
+            (Column::Int64(v), Value::Int64(x)) => v.push(x),
+            (Column::Int32(v), Value::Int32(x)) => v.push(x),
+            (Column::Float64(v), Value::Float64(x)) => v.push(x),
+            (col, value) => debug_assert!(
+                false,
+                "push_unchecked: {:?} value into {} column",
+                value.column_type(),
+                col.column_type()
+            ),
+        }
+    }
+
     /// Append the value at `index` of `source` (which must have the same
     /// type).
     pub fn push_from(&mut self, source: &Column, index: usize) -> Result<(), StorageError> {
@@ -183,6 +204,68 @@ impl Column {
             .get(index)
             .ok_or_else(|| StorageError::invalid(format!("row index {index} out of bounds")))?;
         self.push(value)
+    }
+
+    /// Reserve capacity for at least `additional` more values.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::Int64(v) => v.reserve(additional),
+            Column::Int32(v) => v.reserve(additional),
+            Column::Float64(v) => v.reserve(additional),
+        }
+    }
+
+    /// Append the whole of `source` onto this column in one slice copy —
+    /// the column-wise building block of [`crate::Table::append_table`].
+    pub fn extend_from(&mut self, source: &Column) -> Result<(), StorageError> {
+        match (self, source) {
+            (Column::Int64(dst), Column::Int64(src)) => dst.extend_from_slice(src),
+            (Column::Int32(dst), Column::Int32(src)) => dst.extend_from_slice(src),
+            (Column::Float64(dst), Column::Float64(src)) => dst.extend_from_slice(src),
+            (dst, src) => {
+                return Err(StorageError::schema(format!(
+                    "cannot extend {} column from {} column",
+                    dst.column_type(),
+                    src.column_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Append `source[i]` for every index in `indices`, in order — the
+    /// per-column gather underneath batch materialization. Indices must be
+    /// in bounds of `source` (panics otherwise, like slice indexing).
+    pub fn gather_from(&mut self, source: &Column, indices: &[u32]) -> Result<(), StorageError> {
+        match (self, source) {
+            (Column::Int64(dst), Column::Int64(src)) => {
+                dst.extend(indices.iter().map(|&i| src[i as usize]));
+            }
+            (Column::Int32(dst), Column::Int32(src)) => {
+                dst.extend(indices.iter().map(|&i| src[i as usize]));
+            }
+            (Column::Float64(dst), Column::Float64(src)) => {
+                dst.extend(indices.iter().map(|&i| src[i as usize]));
+            }
+            (dst, src) => {
+                return Err(StorageError::schema(format!(
+                    "cannot gather {} column into {} column",
+                    src.column_type(),
+                    dst.column_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// A new column holding `self[i]` for every index in `indices`, in
+    /// order. Indices must be in bounds (panics otherwise).
+    pub fn gathered(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Int32(v) => Column::Int32(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float64(v) => Column::Float64(indices.iter().map(|&i| v[i as usize]).collect()),
+        }
     }
 
     /// Bytes of payload stored in the column.
@@ -276,6 +359,44 @@ mod tests {
         assert_eq!(ColumnType::Float64.width_bytes(), 8);
         assert_eq!(ColumnType::Int32.to_string(), "INT32");
         assert_eq!(Value::Int64(9).to_string(), "9");
+    }
+
+    #[test]
+    fn extend_from_appends_column_wise() {
+        let mut dst = Column::Int64(vec![1, 2]);
+        dst.extend_from(&Column::Int64(vec![3, 4])).unwrap();
+        assert_eq!(dst.as_i64_slice(), Some(&[1i64, 2, 3, 4][..]));
+        assert!(dst.extend_from(&Column::Int32(vec![5])).is_err());
+        assert!(dst.extend_from(&Column::Float64(vec![5.0])).is_err());
+    }
+
+    #[test]
+    fn gather_selects_in_index_order() {
+        let source = Column::Int32(vec![10, 20, 30, 40]);
+        let gathered = source.gathered(&[3, 0, 0, 2]);
+        assert_eq!(gathered.as_i32_slice(), Some(&[40i32, 10, 10, 30][..]));
+        let mut dst = Column::Int32(vec![5]);
+        dst.gather_from(&source, &[1, 1]).unwrap();
+        assert_eq!(dst.as_i32_slice(), Some(&[5i32, 20, 20][..]));
+        assert!(dst.gather_from(&Column::Int64(vec![1]), &[0]).is_err());
+        assert!(source.gathered(&[]).is_empty());
+    }
+
+    #[test]
+    fn unchecked_push_appends_matching_values() {
+        let mut col = Column::with_capacity(ColumnType::Float64, 2);
+        col.reserve(2);
+        col.push_unchecked(Value::Float64(1.5));
+        col.push_unchecked(Value::Float64(2.5));
+        assert_eq!(col.as_f64_slice(), Some(&[1.5, 2.5][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "push_unchecked")]
+    #[cfg(debug_assertions)]
+    fn unchecked_push_type_mismatch_is_debug_asserted() {
+        let mut col = Column::empty(ColumnType::Int64);
+        col.push_unchecked(Value::Int32(1));
     }
 
     #[test]

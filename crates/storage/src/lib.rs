@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod block;
 pub mod catalog;
 pub mod column;
@@ -32,12 +33,14 @@ pub mod predicate;
 pub mod scan;
 pub mod table;
 
+pub use batch::{BatchBuilder, ColumnBuilder};
 pub use block::{Block, BlockIter, DEFAULT_BLOCK_ROWS};
 pub use catalog::{ClusterCatalog, NodeCatalog};
 pub use column::{Column, ColumnType, Value};
 pub use error::StorageError;
 pub use partition::{
-    hash_of_value, hash_partition, replicate, round_robin_partition, PartitionSpec, Partitioned,
+    hash_i64, hash_of_value, hash_partition, replicate, round_robin_partition, PartitionSpec,
+    Partitioned,
 };
 pub use predicate::{CmpOp, Predicate};
 pub use scan::{scan, ScanResult};

@@ -57,7 +57,17 @@ pub fn hash_of_value(value: &Value) -> u64 {
         Value::Int32(v) => v as i64 as u64,
         Value::Float64(v) => v.to_bits(),
     };
-    let mut z = raw.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    hash_i64(raw as i64)
+}
+
+/// The same splitmix64 mix over a raw integer key — the hash the execution
+/// kernel applies per probe row, skipping the [`Value`] round-trip.
+/// `hash_i64(k)` equals `hash_of_value(&Value::Int64(k))` (and the `Int32`
+/// encoding of the same integer), so kernel-side hashing and partition
+/// placement can never disagree.
+#[inline]
+pub fn hash_i64(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -109,7 +119,9 @@ impl Partitioned {
     }
 }
 
-/// Hash partition `table` on `column` into `nodes` fragments.
+/// Hash partition `table` on `column` into `nodes` fragments. Runs as a
+/// scatter: one pass computes each row's destination, then every fragment is
+/// materialised with a per-column gather.
 pub fn hash_partition(
     table: &Table,
     column: &str,
@@ -120,24 +132,19 @@ pub fn hash_partition(
     }
     // Resolve the partition column up front so the error mentions the table.
     let key = table.column_by_name(column)?;
-    let mut fragments: Vec<Table> = (0..nodes)
-        .map(|i| {
-            let mut t = Table::with_capacity(
-                format!("{}_part{}", table.name(), i),
-                table.schema().clone(),
-                table.row_count() / nodes + 1,
-            );
-            t.set_name(format!("{}_part{}", table.name(), i));
-            t
-        })
-        .collect();
+    let mut indices: Vec<Vec<u32>> = vec![Vec::with_capacity(table.row_count() / nodes + 1); nodes];
     for row in 0..table.row_count() {
         let value = key
             .get(row)
             .ok_or_else(|| StorageError::invalid(format!("row {row} out of bounds")))?;
         let node = (hash_of_value(&value) % nodes as u64) as usize;
-        fragments[node].append_row_from(table, row)?;
+        indices[node].push(row as u32);
     }
+    let fragments = indices
+        .iter()
+        .enumerate()
+        .map(|(i, rows)| table.gather_rows(format!("{}_part{}", table.name(), i), rows))
+        .collect();
     Ok(Partitioned {
         spec: PartitionSpec::hash(column),
         fragments,
@@ -160,18 +167,15 @@ pub fn round_robin_partition(table: &Table, nodes: usize) -> Result<Partitioned,
     if nodes == 0 {
         return Err(StorageError::invalid("cannot partition across zero nodes"));
     }
-    let mut fragments: Vec<Table> = (0..nodes)
-        .map(|i| {
-            Table::with_capacity(
-                format!("{}_part{}", table.name(), i),
-                table.schema().clone(),
-                table.row_count() / nodes + 1,
-            )
-        })
-        .collect();
+    let mut indices: Vec<Vec<u32>> = vec![Vec::with_capacity(table.row_count() / nodes + 1); nodes];
     for row in 0..table.row_count() {
-        fragments[row % nodes].append_row_from(table, row)?;
+        indices[row % nodes].push(row as u32);
     }
+    let fragments = indices
+        .iter()
+        .enumerate()
+        .map(|(i, rows)| table.gather_rows(format!("{}_part{}", table.name(), i), rows))
+        .collect();
     Ok(Partitioned {
         spec: PartitionSpec::RoundRobin,
         fragments,
@@ -239,6 +243,11 @@ mod tests {
             hash_of_value(&Value::Int64(5)),
             hash_of_value(&Value::Int32(5))
         );
+        // The raw-key hash used by the execution kernel agrees with the
+        // Value-level hash used for placement, including negative keys.
+        for key in [0_i64, 5, -5, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(hash_i64(key), hash_of_value(&Value::Int64(key)));
+        }
     }
 
     #[test]

@@ -71,26 +71,25 @@ pub fn scan_with_block_rows(
         }
     }
 
-    let mut output = Table::with_capacity(
-        format!("{}_scan", table.name()),
-        output_schema,
-        table.row_count() / 4,
-    );
     let projected_source = match projection {
         Some(names) => Some(table.project(names)?),
         None => None,
     };
     let source_for_output: &Table = projected_source.as_ref().unwrap_or(table);
 
-    let mut rows_passed = 0usize;
+    // Collect qualifying row indices, then materialise the output with one
+    // per-column gather instead of a row-at-a-time append.
+    let mut passing: Vec<u32> = Vec::new();
     for block in BlockIter::with_block_rows(table, block_rows) {
         for row in block.row_indices() {
             if predicate.matches_row(table, row)? {
-                output.append_row_from(source_for_output, row)?;
-                rows_passed += 1;
+                passing.push(row as u32);
             }
         }
     }
+    let rows_passed = passing.len();
+    let output = source_for_output.gather_rows(format!("{}_scan", table.name()), &passing);
+    debug_assert_eq!(output.schema(), &output_schema);
 
     let rows_scanned = table.row_count();
     Ok(ScanResult {

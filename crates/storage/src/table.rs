@@ -129,43 +129,100 @@ impl Table {
         }
     }
 
-    /// Materialise the projected LINEITEM table from generated rows.
+    /// A table assembled from pre-built columns. The columns must match the
+    /// schema's types and all have the same length — this is how the
+    /// execution kernel turns gathered output fragments back into tables
+    /// without touching any per-row path.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Result<Self, StorageError> {
+        let name = name.into();
+        if columns.len() != schema.len() {
+            return Err(StorageError::schema(format!(
+                "table {} given {} columns for a {}-column schema",
+                name,
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (column, (col_name, ty)) in columns.iter().zip(schema.columns()) {
+            if column.column_type() != *ty {
+                return Err(StorageError::schema(format!(
+                    "column {col_name} of table {name} is {} but the schema says {ty}",
+                    column.column_type()
+                )));
+            }
+            if column.len() != rows {
+                return Err(StorageError::schema(format!(
+                    "column {col_name} of table {name} has {} rows, expected {rows}",
+                    column.len()
+                )));
+            }
+        }
+        Ok(Self {
+            name,
+            schema,
+            columns,
+        })
+    }
+
+    /// Materialise the projected LINEITEM table from generated rows. The
+    /// columns are built directly from the typed row fields — no per-row
+    /// schema validation on this hot path.
     pub fn from_lineitem(rows: impl IntoIterator<Item = LineitemRow>) -> Self {
         let iter = rows.into_iter();
-        let mut table = Table::with_capacity(
+        let capacity = iter.size_hint().0;
+        let mut orderkey = Vec::with_capacity(capacity);
+        let mut extendedprice = Vec::with_capacity(capacity);
+        let mut discount = Vec::with_capacity(capacity);
+        let mut shipdate = Vec::with_capacity(capacity);
+        for row in iter {
+            orderkey.push(row.orderkey);
+            extendedprice.push(row.extendedprice);
+            discount.push(row.discount);
+            shipdate.push(row.shipdate);
+        }
+        Table::from_columns(
             "LINEITEM",
             Schema::lineitem_projection(),
-            iter.size_hint().0,
-        );
-        for row in iter {
-            table
-                .append_row(&[
-                    Value::Int64(row.orderkey),
-                    Value::Int64(row.extendedprice),
-                    Value::Int32(row.discount),
-                    Value::Int32(row.shipdate),
-                ])
-                .expect("lineitem projection row matches its schema");
-        }
-        table
+            vec![
+                Column::Int64(orderkey),
+                Column::Int64(extendedprice),
+                Column::Int32(discount),
+                Column::Int32(shipdate),
+            ],
+        )
+        .expect("lineitem projection columns match their schema")
     }
 
     /// Materialise the projected ORDERS table from generated rows.
     pub fn from_orders(rows: impl IntoIterator<Item = OrdersRow>) -> Self {
         let iter = rows.into_iter();
-        let mut table =
-            Table::with_capacity("ORDERS", Schema::orders_projection(), iter.size_hint().0);
+        let capacity = iter.size_hint().0;
+        let mut orderkey = Vec::with_capacity(capacity);
+        let mut orderdate = Vec::with_capacity(capacity);
+        let mut shippriority = Vec::with_capacity(capacity);
+        let mut custkey = Vec::with_capacity(capacity);
         for row in iter {
-            table
-                .append_row(&[
-                    Value::Int64(row.orderkey),
-                    Value::Int32(row.orderdate),
-                    Value::Int32(row.shippriority),
-                    Value::Int64(row.custkey),
-                ])
-                .expect("orders projection row matches its schema");
+            orderkey.push(row.orderkey);
+            orderdate.push(row.orderdate);
+            shippriority.push(row.shippriority);
+            custkey.push(row.custkey);
         }
-        table
+        Table::from_columns(
+            "ORDERS",
+            Schema::orders_projection(),
+            vec![
+                Column::Int64(orderkey),
+                Column::Int32(orderdate),
+                Column::Int32(shippriority),
+                Column::Int64(custkey),
+            ],
+        )
+        .expect("orders projection columns match their schema")
     }
 
     /// The table's name.
@@ -231,6 +288,60 @@ impl Table {
         Ok(())
     }
 
+    /// Append one row without re-validating it against the schema — the
+    /// batched kernel path for callers that validated the row shape once up
+    /// front. Arity and types are `debug_assert!`ed.
+    #[inline]
+    pub fn append_row_unchecked(&mut self, values: &[Value]) {
+        debug_assert_eq!(
+            values.len(),
+            self.schema.len(),
+            "append_row_unchecked: row arity does not match table {}",
+            self.name
+        );
+        for (column, value) in self.columns.iter_mut().zip(values) {
+            column.push_unchecked(*value);
+        }
+    }
+
+    /// A new table holding row `i` of `self` for every index in `indices`,
+    /// in order — per-column gather, no per-row dispatch. Indices must be in
+    /// bounds (panics otherwise).
+    pub fn gather_rows(&self, name: impl Into<String>, indices: &[u32]) -> Table {
+        Table {
+            name: name.into(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gathered(indices)).collect(),
+        }
+    }
+
+    /// The row multiset as a sorted list of value tuples over the named
+    /// columns — the order-insensitive signature used to assert that two
+    /// executions produced the same rows regardless of worker count, morsel
+    /// size, or partitioning. Rows sort lexicographically by
+    /// [`Value::compare`].
+    pub fn sorted_row_signature(&self, columns: &[&str]) -> Result<Vec<Vec<Value>>, StorageError> {
+        let cols: Vec<&Column> = columns
+            .iter()
+            .map(|name| self.column_by_name(name))
+            .collect::<Result<_, _>>()?;
+        let mut rows: Vec<Vec<Value>> = (0..self.row_count())
+            .map(|i| {
+                cols.iter()
+                    .map(|c| c.get(i).expect("row index within row_count"))
+                    .collect()
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.compare(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(rows)
+    }
+
     /// Copy the row at `index` of `source` into this table. The schemas must
     /// be identical.
     pub fn append_row_from(&mut self, source: &Table, index: usize) -> Result<(), StorageError> {
@@ -282,6 +393,8 @@ impl Table {
     }
 
     /// Concatenate another table with an identical schema onto this one.
+    /// Appends column-wise: one schema check and one slice copy per column,
+    /// never a per-row dispatch.
     pub fn append_table(&mut self, other: &Table) -> Result<(), StorageError> {
         if self.schema != other.schema {
             return Err(StorageError::schema(format!(
@@ -289,8 +402,8 @@ impl Table {
                 other.name, self.name
             )));
         }
-        for index in 0..other.row_count() {
-            self.append_row_from(other, index)?;
+        for (dest, src) in self.columns.iter_mut().zip(&other.columns) {
+            dest.extend_from(src)?;
         }
         Ok(())
     }
@@ -384,6 +497,76 @@ mod tests {
         assert_eq!(a.row_count(), 2 * before);
         let lineitem = Table::from_lineitem(LineitemGenerator::new(ScaleFactor(0.001), 1));
         assert!(a.append_table(&lineitem).is_err());
+    }
+
+    #[test]
+    fn from_columns_validates_shape() {
+        let schema = Schema::new([("A", ColumnType::Int64), ("B", ColumnType::Int32)]);
+        let table = Table::from_columns(
+            "T",
+            schema.clone(),
+            vec![Column::Int64(vec![1, 2]), Column::Int32(vec![10, 20])],
+        )
+        .unwrap();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.row(1), Some(vec![Value::Int64(2), Value::Int32(20)]));
+        // Wrong column count, wrong type, ragged lengths.
+        assert!(Table::from_columns("T", schema.clone(), vec![Column::Int64(vec![1])]).is_err());
+        assert!(Table::from_columns(
+            "T",
+            schema.clone(),
+            vec![Column::Int32(vec![1]), Column::Int32(vec![10])]
+        )
+        .is_err());
+        assert!(Table::from_columns(
+            "T",
+            schema,
+            vec![Column::Int64(vec![1, 2]), Column::Int32(vec![10])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_in_index_order() {
+        let orders = small_orders();
+        let gathered = orders.gather_rows("G", &[2, 0, 2]);
+        assert_eq!(gathered.row_count(), 3);
+        assert_eq!(gathered.name(), "G");
+        assert_eq!(gathered.row(0), orders.row(2));
+        assert_eq!(gathered.row(1), orders.row(0));
+        assert_eq!(gathered.row(2), orders.row(2));
+        assert_eq!(gathered.schema(), orders.schema());
+    }
+
+    #[test]
+    fn unchecked_append_matches_checked_append() {
+        let schema = Schema::new([("A", ColumnType::Int64), ("B", ColumnType::Float64)]);
+        let mut checked = Table::empty("C", schema.clone());
+        let mut unchecked = Table::empty("U", schema);
+        for i in 0..10 {
+            let row = [Value::Int64(i), Value::Float64(i as f64 / 2.0)];
+            checked.append_row(&row).unwrap();
+            unchecked.append_row_unchecked(&row);
+        }
+        assert_eq!(checked.row_count(), unchecked.row_count());
+        for i in 0..10 {
+            assert_eq!(checked.row(i), unchecked.row(i));
+        }
+    }
+
+    #[test]
+    fn sorted_row_signature_is_order_insensitive() {
+        let orders = small_orders();
+        let mut reversed = Table::empty("R", orders.schema().clone());
+        for i in (0..orders.row_count()).rev() {
+            reversed.append_row_from(&orders, i).unwrap();
+        }
+        let cols = ["O_ORDERKEY", "O_CUSTKEY"];
+        assert_eq!(
+            orders.sorted_row_signature(&cols).unwrap(),
+            reversed.sorted_row_signature(&cols).unwrap()
+        );
+        assert!(orders.sorted_row_signature(&["O_NOPE"]).is_err());
     }
 
     #[test]
