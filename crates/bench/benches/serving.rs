@@ -1,0 +1,16 @@
+//! Serving-layer benchmarks: the discrete-event kernel under an open-loop
+//! Poisson load (~12k arrivals through the heap per iteration) and the
+//! `Serving` estimator lens over a QPS sweep and a heterogeneous
+//! energy-aware placement run.
+//!
+//! The case definitions live in `eedc_bench::cases` and also run under the
+//! `bench_suite` regression binary; this target runs just this group.
+
+use eedc_bench::cases;
+use eedc_bench::harness::BenchSuite;
+
+fn main() {
+    let mut suite = BenchSuite::new();
+    cases::register_serving(&mut suite);
+    suite.run(None);
+}

@@ -2,8 +2,8 @@
 //! underlying `RunRecord` series on disk as JSON for the figures pipeline:
 //! the Figure 5 strategy comparison, a design-space sweep under all four
 //! estimator lenses (measured / analytical / behavioural / traced), the
-//! Section 3.2 DBMS-X-vs-P-store engine comparison, and the Figure 6
-//! single-node sweep.
+//! Section 3.2 DBMS-X-vs-P-store engine comparison, the serving-layer
+//! throughput–energy Pareto sweep, and the Figure 6 single-node sweep.
 //!
 //! ```sh
 //! cargo run --release -p eedc-bench --bin figures [output-dir]
@@ -12,10 +12,13 @@
 //! JSON series are written to `output-dir` (default `figures-data/`).
 
 use eedc_bench::bench_options;
-use eedc_core::{Analytical, Behavioural, Experiment, Measured, SweepJoin, Traced};
+use eedc_core::{
+    Analytical, Behavioural, Estimator, Experiment, Measured, Serving, ServingWorkload, SweepJoin,
+    Traced, Workload,
+};
 use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
 use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy};
-use eedc_simkit::catalog::cluster_v_node;
+use eedc_simkit::catalog::{cluster_v_node, laptop_b};
 use eedc_simkit::HardwareCatalog;
 use std::path::PathBuf;
 
@@ -123,6 +126,55 @@ fn main() {
             }
         }
         Err(err) => println!("engine comparison failed: {err}"),
+    }
+
+    // ---- The serving Pareto sweep: the same open-loop query stream offered
+    // to three designs, each point a (tail latency, energy per query)
+    // trade-off under energy-aware Beefy-vs-Wimpy placement.
+    println!();
+    println!("== Serving: latency vs energy-per-query across designs ==");
+    let mut template = workload;
+    template.build_bytes = eedc_simkit::units::Megabytes(2_000.0);
+    template.probe_bytes = eedc_simkit::units::Megabytes(8_000.0);
+    let serving_designs = [
+        ClusterSpec::homogeneous(cluster_v_node(), 8),
+        ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 8),
+        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 16),
+    ]
+    .map(|d| d.expect("spec is valid"));
+    let serving_result = Analytical
+        .estimate(&template.plans()[0], &serving_designs[0])
+        .map(|reference| {
+            let service_time = reference.response_time.value();
+            let window = eedc_simkit::units::Seconds(2_000.0 * service_time);
+            let serving = ServingWorkload::new(&template, 0.5 / service_time, window, 42);
+            Experiment::new(&serving)
+                .designs(serving_designs)
+                .estimator(Serving::energy_aware())
+                .run()
+        })
+        .and_then(|r| r);
+    match serving_result {
+        Ok(report) => {
+            for record in &report.series[0].records {
+                let stats = record.serving.as_ref().expect("serving lens fills stats");
+                println!(
+                    "  {:>7}: p50 {:6.2} s, p99 {:6.2} s, {:.4} qps, {:5.1}% lost, {:6.0} J/query",
+                    record.design,
+                    stats.p50.value(),
+                    stats.p99.value(),
+                    stats.achieved_qps,
+                    stats.drop_rate * 100.0,
+                    stats.energy_per_query.value(),
+                );
+            }
+            let path = out_dir.join("serving_pareto.json");
+            match report.write_json(&path) {
+                Ok(()) => println!("  -> {}", path.display()),
+                Err(err) => println!("  !! JSON write failed: {err}"),
+            }
+        }
+        Err(err) => println!("serving sweep failed: {err}"),
     }
 
     // ---- Figure 6: the single-node microbenchmark (not a cluster workload;

@@ -1,7 +1,7 @@
 //! The shared case registry: every benchmark case of the suite, defined
 //! once and registered into a [`BenchSuite`].
 //!
-//! The seven `benches/*.rs` targets are thin wrappers that register their
+//! The eight `benches/*.rs` targets are thin wrappers that register their
 //! own group and run it; the `bench_suite` binary registers
 //! [`register_all`] and adds baseline recording and the regression check on
 //! top. Keeping the definitions here means the standalone targets and the
@@ -15,15 +15,19 @@
 
 use crate::harness::{BenchCase, BenchSuite};
 use eedc_core::{
-    Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Experiment,
-    ExperimentReport, Measured, ProfiledQuery, RunSeries, SweepJoin, Traced,
+    Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Estimator, Experiment,
+    ExperimentReport, Measured, ProfiledQuery, RunSeries, Serving, ServingWorkload, SweepJoin,
+    Traced, Workload,
 };
-use eedc_dbmsim::{EngineBehaviour, RestartPolicy};
+use eedc_dbmsim::{
+    simulate_serving, EngineBehaviour, FcfsScheduler, RestartPolicy, ServiceProfile, ServingConfig,
+    ServingServer,
+};
 use eedc_netsim::{shuffle_flows, Fabric, TransferSimulator};
 use eedc_pstore::microbench::{single_node_hash_join, MicrobenchOptions};
 use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy};
 use eedc_simkit::catalog::{cluster_v_node, laptop_b};
-use eedc_simkit::units::{Megabytes, MegabytesPerSec};
+use eedc_simkit::units::{Joules, Megabytes, MegabytesPerSec, Seconds, Watts};
 use eedc_simkit::HardwareCatalog;
 use eedc_storage::{hash_partition, scan, Predicate, Table};
 use eedc_tpch::gen::OrdersGenerator;
@@ -39,6 +43,7 @@ pub fn register_all(suite: &mut BenchSuite) {
     register_design_space(suite);
     register_vertica_scaling(suite);
     register_engine_comparison(suite);
+    register_serving(suite);
 }
 
 fn sweep_workload() -> SweepJoin {
@@ -289,6 +294,110 @@ pub fn register_engine_comparison(suite: &mut BenchSuite) {
     );
 }
 
+/// The discrete-event serving layer: the raw kernel under sustained load,
+/// and the `Serving` estimator lens through the experiment API.
+pub fn register_serving(suite: &mut BenchSuite) {
+    // The event kernel end to end at M/M/1 scale: one server at 80% load
+    // over a window long enough for ~12k Poisson arrivals, exponential
+    // service — every arrival, admission, placement and completion is a
+    // heap event, so this times the kernel's hot loop.
+    suite.register(
+        BenchCase::new("serving/open_loop_12k_arrivals", || {
+            let server = ServingServer {
+                label: "node".into(),
+                idle_power: Watts(100.0),
+                profiles: vec![Some(ServiceProfile {
+                    time: Seconds(0.4),
+                    energy: Joules(50.0),
+                })],
+            };
+            let config = ServingConfig::new(2.0, Seconds(6_000.0), 99).exponential_service();
+            let result = simulate_serving(&[server], &config, &mut FcfsScheduler)
+                .expect("serving run is valid");
+            assert!(result.arrivals >= 10_000, "got {}", result.arrivals);
+            assert_eq!(
+                result.arrivals,
+                result.completed + result.dropped + result.timed_out
+            );
+        })
+        .warmup(1)
+        .iterations(5),
+    );
+
+    // The Serving lens over a QPS sweep: price the template once per pool
+    // with the analytical model, then simulate three offered loads on a
+    // 4-node design. The queueing-theory shape (tail grows with load) is
+    // pinned inside the timed closure.
+    let design = bench_design(4);
+    let workload = sweep_workload();
+    let service_time = Analytical
+        .estimate(&workload.plans()[0], &design)
+        .expect("4 Cluster-V nodes fit the sweep join")
+        .response_time
+        .value();
+    let mu = 1.0 / service_time;
+    let serving = ServingWorkload::new(&workload, mu * 0.3, Seconds(2_000.0 * service_time), 77)
+        .qps_sweep([mu * 0.3, mu * 0.6, mu * 0.9]);
+    let experiment = Experiment::new(&serving)
+        .design(design)
+        .estimator(Serving::fcfs());
+    suite.register(
+        BenchCase::new("serving/qps_sweep_3_levels", move || {
+            let report = experiment.run().expect("serving sweep runs");
+            assert_eq!(report.series.len(), 3);
+            let p99: Vec<f64> = report
+                .series
+                .iter()
+                .map(|s| {
+                    s.records[0]
+                        .serving
+                        .as_ref()
+                        .expect("serving stats recorded")
+                        .p99
+                        .value()
+                })
+                .collect();
+            assert!(p99[0] < p99[1] && p99[1] < p99[2], "{p99:?}");
+        })
+        .warmup(1)
+        .iterations(5),
+    );
+
+    // Energy-aware placement on a heterogeneous design: the scheduler's
+    // per-query Beefy-vs-Wimpy choice, with a join small enough that both
+    // pools are feasible.
+    let mut small = sweep_workload();
+    small.build_bytes = Megabytes(2_000.0);
+    small.probe_bytes = Megabytes(8_000.0);
+    let design = ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 4)
+        .expect("bench cluster spec is valid");
+    let slowest = Analytical
+        .estimate(
+            &small.plans()[0],
+            &ClusterSpec::homogeneous(laptop_b(), 4).expect("bench cluster spec is valid"),
+        )
+        .expect("4 Laptop-B nodes fit the small join")
+        .response_time
+        .value();
+    let serving = ServingWorkload::new(&small, 0.05 / slowest, Seconds(2_000.0 * slowest), 5);
+    let experiment = Experiment::new(&serving)
+        .design(design)
+        .estimator(Serving::energy_aware());
+    suite.register(
+        BenchCase::new("serving/energy_aware_heterogeneous", move || {
+            let report = experiment.run().expect("serving run succeeds");
+            let stats = report.series[0].records[0]
+                .serving
+                .as_ref()
+                .expect("serving stats recorded");
+            assert_eq!(stats.scheduler, "energy-aware");
+            assert!(stats.completed > 50);
+        })
+        .warmup(1)
+        .iterations(5),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,13 +405,14 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn registry_covers_all_seven_groups_with_unique_slugs() {
+    fn registry_covers_all_eight_groups_with_unique_slugs() {
         let mut suite = BenchSuite::with_env("test-env");
         register_all(&mut suite);
         let names = suite.case_names();
         // 3 join strategies + 1 concurrency sweep + 5 Table 2 machines +
-        // 3 substrates + 3 advisor grids + vertica + engine comparison.
-        assert_eq!(names.len(), 17);
+        // 3 substrates + 3 advisor grids + vertica + engine comparison +
+        // 3 serving cases.
+        assert_eq!(names.len(), 20);
         for group in [
             "pstore_joins/",
             "model_and_sweeps/",
@@ -311,6 +421,7 @@ mod tests {
             "design_space/",
             "vertica_scaling/",
             "engine_comparison/",
+            "serving/",
         ] {
             assert!(
                 names.iter().any(|n| n.starts_with(group)),

@@ -2,8 +2,8 @@
 //! timing with robust statistics, JSON reports, and baseline comparison.
 //!
 //! The paper's contribution is quantitative, so the repo's benches have to
-//! be too: a timing that is one aggregate span across all iterations (the
-//! old `time_case`) folds first-iteration cache fill into the mean and
+//! be too: a timing that is one aggregate span across all iterations folds
+//! first-iteration cache fill into the mean and
 //! cannot say anything about spread. A [`BenchCase`] instead runs `warmup`
 //! untimed iterations, then times each of `iterations` runs individually
 //! into [`Sample`]s, and a [`Summary`] reduces them with *robust* statistics

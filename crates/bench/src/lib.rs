@@ -26,9 +26,7 @@ pub mod harness;
 
 use eedc_pstore::{ClusterSpec, PStoreCluster, RunOptions};
 use eedc_simkit::catalog::cluster_v_node;
-use eedc_simkit::units::Seconds;
 use eedc_tpch::ScaleFactor;
-use std::time::Instant;
 
 /// The engine-scale run options every measured bench case loads clusters
 /// with: small enough to iterate, large enough that the joins are real.
@@ -48,43 +46,13 @@ pub fn bench_cluster(nodes: usize) -> PStoreCluster {
     PStoreCluster::load(spec, bench_options()).expect("bench cluster loads")
 }
 
-/// Time a closure over `iterations` runs and print a one-line report.
-/// Returns the *mean* wall-clock seconds per iteration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use harness::BenchCase / harness::BenchSuite: per-iteration samples with warmup \
-            and robust statistics instead of one aggregate span"
-)]
-pub fn time_case<F: FnMut()>(label: &str, iterations: usize, mut case: F) -> f64 {
-    let samples: Vec<harness::Sample> = (0..iterations.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            case();
-            harness::Sample(Seconds(start.elapsed().as_secs_f64()))
-        })
-        .collect();
-    let summary = harness::Summary::from_samples(&samples).expect("iterations >= 1");
-    println!(
-        "{label}: {:.3} ms/iter over {} iters (median {:.3} ms)",
-        summary.mean.value() * 1e3,
-        summary.iterations,
-        summary.median.value() * 1e3,
-    );
-    summary.mean.value()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn fixture_and_deprecated_timer_work() {
+    fn fixture_loads_a_small_cluster() {
         let cluster = bench_cluster(2);
         assert_eq!(cluster.spec().len(), 2);
-        let mut runs = 0;
-        #[allow(deprecated)]
-        let mean = time_case("noop", 3, || runs += 1);
-        assert_eq!(runs, 3);
-        assert!(mean >= 0.0);
     }
 }

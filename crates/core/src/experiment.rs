@@ -45,14 +45,17 @@ use crate::json::JsonValue;
 use crate::model::{AnalyticalModel, ModelPrediction, PhasePrediction};
 use crate::workload::{Workload, WorkloadPlan};
 use eedc_dbmsim::{
-    busy_share_from_utilization, replay, BehaviouralModel, BusyShares, EngineBehaviour,
-    ReplayPhase, UtilizationTrace,
+    busy_share_from_utilization, replay, simulate_serving, BehaviouralModel, BusyShares,
+    EnergyAwareScheduler, EngineBehaviour, FcfsScheduler, ReplayPhase, ServiceProfile,
+    ServingConfig, ServingServer, UtilizationTrace,
 };
 use eedc_pstore::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
-use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, RunOptions};
+use eedc_pstore::{
+    ClusterSpec, JoinQuerySpec, JoinStrategy, PStoreCluster, PStoreError, RunOptions,
+};
 use eedc_simkit::metrics::{Measurement, NormalizedPoint, NormalizedSeries};
-use eedc_simkit::units::{Joules, Megabytes, Seconds};
-use eedc_simkit::NodeSpec;
+use eedc_simkit::units::{Joules, Megabytes, Seconds, Watts};
+use eedc_simkit::{NodeClass, NodeSpec};
 use eedc_tpch::{QueryId, QueryProfile};
 use std::cell::RefCell;
 use std::io;
@@ -139,9 +142,90 @@ pub struct RunRecord {
     pub phases: Vec<PhaseRecord>,
     /// Verified join output rows — measured runs only.
     pub output_rows: Option<usize>,
+    /// Serving-level statistics (latency percentiles, drop rate,
+    /// energy-per-query) — [`Serving`] runs only.
+    pub serving: Option<ServingStats>,
     /// The record's (performance, energy) point normalized against the
     /// experiment's reference design; filled in by [`Experiment::run`].
     pub normalized: Option<NormalizedPoint>,
+}
+
+/// Queueing statistics of one serving run — the fields only an open-loop
+/// discrete-event simulation can produce, carried alongside the closed-form
+/// shape of [`RunRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingStats {
+    /// Placement policy that scheduled the queries.
+    pub scheduler: String,
+    /// Offered load (Poisson arrivals per second).
+    pub offered_qps: f64,
+    /// Completions per second over the run.
+    pub achieved_qps: f64,
+    /// Queries that arrived / completed / were dropped / timed out.
+    pub arrivals: usize,
+    /// Queries that completed service.
+    pub completed: usize,
+    /// Arrivals rejected because the admission queue was full.
+    pub dropped: usize,
+    /// Queued queries abandoned after exceeding the configured wait bound.
+    pub timed_out: usize,
+    /// Fraction of arrivals lost to drops or timeouts.
+    pub drop_rate: f64,
+    /// Median latency.
+    pub p50: Seconds,
+    /// 95th-percentile latency.
+    pub p95: Seconds,
+    /// 99th-percentile latency.
+    pub p99: Seconds,
+    /// Mean completed-query latency.
+    pub mean_latency: Seconds,
+    /// Mean admission-queue wait before service.
+    pub mean_wait: Seconds,
+    /// Total run energy (idle power included) per completed query.
+    pub energy_per_query: Joules,
+}
+
+impl ServingStats {
+    /// Render the stats as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("scheduler", self.scheduler.clone())
+            .set("offered_qps", self.offered_qps)
+            .set("achieved_qps", self.achieved_qps)
+            .set("arrivals", self.arrivals)
+            .set("completed", self.completed)
+            .set("dropped", self.dropped)
+            .set("timed_out", self.timed_out)
+            .set("drop_rate", self.drop_rate)
+            .set("p50_s", self.p50.value())
+            .set("p95_s", self.p95.value())
+            .set("p99_s", self.p99.value())
+            .set("mean_latency_s", self.mean_latency.value())
+            .set("mean_wait_s", self.mean_wait.value())
+            .set("energy_per_query_j", self.energy_per_query.value());
+        obj
+    }
+
+    /// Reconstruct the stats from the JSON shape
+    /// [`to_json`](Self::to_json) emits.
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        Ok(Self {
+            scheduler: value.str_field("scheduler")?.to_string(),
+            offered_qps: value.f64_field("offered_qps")?,
+            achieved_qps: value.f64_field("achieved_qps")?,
+            arrivals: value.usize_field("arrivals")?,
+            completed: value.usize_field("completed")?,
+            dropped: value.usize_field("dropped")?,
+            timed_out: value.usize_field("timed_out")?,
+            drop_rate: value.f64_field("drop_rate")?,
+            p50: Seconds(value.f64_field("p50_s")?),
+            p95: Seconds(value.f64_field("p95_s")?),
+            p99: Seconds(value.f64_field("p99_s")?),
+            mean_latency: Seconds(value.f64_field("mean_latency_s")?),
+            mean_wait: Seconds(value.f64_field("mean_wait_s")?),
+            energy_per_query: Joules(value.f64_field("energy_per_query_j")?),
+        })
+    }
 }
 
 impl PhaseRecord {
@@ -192,6 +276,13 @@ impl RunRecord {
                 energy: point.f64_field("energy")?,
             }),
         };
+        // Reports written before the serving lens carry no "serving" key at
+        // all; both absent and null read back as None, and None re-writes
+        // with the key absent — old reports stay byte-compatible.
+        let serving = match value.get("serving") {
+            None | Some(JsonValue::Null) => None,
+            Some(stats) => Some(ServingStats::from_json(stats)?),
+        };
         Ok(Self {
             workload: value.str_field("workload")?.to_string(),
             estimator: value.str_field("estimator")?.to_string(),
@@ -212,6 +303,7 @@ impl RunRecord {
                 .map(PhaseRecord::from_json)
                 .collect::<Result<_, _>>()?,
             output_rows,
+            serving,
             normalized,
         })
     }
@@ -256,6 +348,9 @@ impl RunRecord {
         }
         obj.set("phases", phases);
         obj.set("output_rows", self.output_rows);
+        if let Some(serving) = &self.serving {
+            obj.set("serving", serving.to_json());
+        }
         match &self.normalized {
             Some(point) => {
                 let mut p = JsonValue::object();
@@ -432,6 +527,7 @@ fn record_from_execution(
         node_energy,
         phases: execution.phases.iter().map(PhaseRecord::from).collect(),
         output_rows: Some(execution.output_rows),
+        serving: None,
         normalized: None,
     }
 }
@@ -506,6 +602,7 @@ fn record_from_prediction(
         node_energy,
         phases: prediction.phases.iter().map(PhaseRecord::from).collect(),
         output_rows: None,
+        serving: None,
         normalized: None,
     }
 }
@@ -645,6 +742,7 @@ impl Estimator for Behavioural {
             node_energy: prediction.node_energy,
             phases: Vec::new(),
             output_rows: None,
+            serving: None,
             normalized: None,
         })
     }
@@ -792,6 +890,7 @@ impl Estimator for Traced {
             node_energy: result.node_energy(),
             phases: result.phases.iter().map(record_from_replay_phase).collect(),
             output_rows: None,
+            serving: None,
             normalized: None,
         })
     }
@@ -820,6 +919,270 @@ fn record_from_replay_phase(phase: &ReplayPhase) -> PhaseRecord {
         network_time: phase.network_time,
         compute_time: phase.cpu_time,
         bottleneck,
+    }
+}
+
+/// The serving lens: run the plan's [`ServingParams`](crate::ServingParams) through the
+/// discrete-event serving simulator (`eedc_dbmsim::serving`) on the
+/// `eedc-simkit` event kernel — the fifth lens, and the only one that can
+/// answer *service* questions: latency percentiles under sustained load,
+/// admission drops, energy per query with idle power amortized in.
+///
+/// Per-query service times and energies come from an inner estimator
+/// ([`Analytical`] by default) evaluated per query template on each node
+/// *pool* of the design: a heterogeneous `(b Beefy, w Wimpy)` design serves
+/// from two pools, and the scheduler's per-query choice between them is the
+/// paper's Beefy-vs-Wimpy placement decision ([`Serving::fcfs`] baseline vs
+/// the [`Serving::energy_aware`] placer). A pool that cannot run a template
+/// (hash table fits no execution mode) is simply never picked for it; a
+/// design where some template fits *no* pool is recorded as infeasible,
+/// like every other lens.
+///
+/// Records carry the usual closed-form shape (`response_time` is the mean
+/// latency, `energy` the whole-run energy including idle power) plus
+/// [`ServingStats`], so `Experiment`/`DesignAdvisor`/the figures pipeline
+/// sweep throughput–energy Pareto curves with zero new plumbing.
+///
+/// ```
+/// use eedc_core::{Experiment, Serving, ServingWorkload, SweepJoin};
+/// use eedc_pstore::{ClusterSpec, JoinQuerySpec};
+/// use eedc_simkit::catalog::cluster_v_node;
+/// use eedc_simkit::units::Seconds;
+///
+/// // Serve the Section 5.4 join at 0.02 queries/s for a simulated hour.
+/// let query = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+/// let workload = ServingWorkload::new(&query, 0.02, Seconds(3_600.0), 7);
+/// let report = Experiment::new(&workload)
+///     .designs([16, 8, 4].map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).unwrap()))
+///     .estimator(Serving::fcfs())
+///     .run()
+///     .unwrap();
+/// let records = &report.series[0].records;
+/// assert_eq!(records.len(), 3);
+/// for record in records {
+///     let stats = record.serving.as_ref().expect("serving stats ride along");
+///     assert!(stats.completed > 0);
+///     assert!(stats.p99 >= stats.p50);
+///     assert!(stats.energy_per_query.value() > 0.0);
+/// }
+/// // Same seed, same report — bit for bit.
+/// let again = Experiment::new(&workload)
+///     .designs([16, 8, 4].map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).unwrap()))
+///     .estimator(Serving::fcfs())
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.to_json_string(), again.to_json_string());
+/// ```
+pub struct Serving {
+    inner: Box<dyn Estimator>,
+    policy: ServingPolicy,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServingPolicy {
+    Fcfs,
+    EnergyAware,
+}
+
+impl Serving {
+    /// FCFS placement (first idle capable pool) over analytical per-query
+    /// costs — the baseline.
+    pub fn fcfs() -> Self {
+        Self {
+            inner: Box::new(Analytical),
+            policy: ServingPolicy::Fcfs,
+        }
+    }
+
+    /// Energy-aware placement: each query runs on the idle pool that serves
+    /// it for the fewest joules.
+    pub fn energy_aware() -> Self {
+        Self {
+            inner: Box::new(Analytical),
+            policy: ServingPolicy::EnergyAware,
+        }
+    }
+
+    /// Replace the inner estimator supplying per-template service costs
+    /// (e.g. [`Traced::dbms_x`] to serve under an engine behaviour). The
+    /// lens is then named `serving…@<inner>` in reports.
+    pub fn with_inner(mut self, inner: impl Estimator + 'static) -> Self {
+        self.inner = Box::new(inner);
+        self
+    }
+
+    /// The node pools of a design: Beefy and Wimpy sub-clusters for a
+    /// heterogeneous design, the whole design otherwise. Each pool serves
+    /// one query at a time.
+    fn pools(design: &ClusterSpec) -> Result<Vec<(String, Vec<usize>, ClusterSpec)>, CoreError> {
+        let ids_of = |class: NodeClass| -> Vec<usize> {
+            design
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.class == class)
+                .map(|(id, _)| id)
+                .collect()
+        };
+        let beefy = ids_of(NodeClass::Beefy);
+        let wimpy = ids_of(NodeClass::Wimpy);
+        if beefy.is_empty() || wimpy.is_empty() {
+            return Ok(vec![(
+                design.label(),
+                (0..design.len()).collect(),
+                design.clone(),
+            )]);
+        }
+        [beefy, wimpy]
+            .into_iter()
+            .map(|ids| {
+                let nodes: Vec<NodeSpec> =
+                    ids.iter().map(|&id| design.nodes()[id].clone()).collect();
+                let label = format!(
+                    "{}({})",
+                    if nodes[0].class == NodeClass::Beefy {
+                        "beefy"
+                    } else {
+                        "wimpy"
+                    },
+                    ids.len()
+                );
+                Ok((label, ids, ClusterSpec::from_nodes(nodes)?))
+            })
+            .collect()
+    }
+}
+
+impl Estimator for Serving {
+    fn name(&self) -> String {
+        let base = match self.policy {
+            ServingPolicy::Fcfs => "serving".to_string(),
+            ServingPolicy::EnergyAware => "serving:energy-aware".to_string(),
+        };
+        let inner = self.inner.name();
+        if inner == "analytical" {
+            base
+        } else {
+            format!("{base}@{inner}")
+        }
+    }
+
+    fn estimate(&self, plan: &WorkloadPlan, design: &ClusterSpec) -> Result<RunRecord, CoreError> {
+        let params = plan.serving.as_ref().ok_or_else(|| {
+            CoreError::invalid(format!(
+                "plan '{}' carries no serving parameters — wrap the workload in a ServingWorkload",
+                plan.label
+            ))
+        })?;
+        if params.templates.is_empty() {
+            return Err(CoreError::invalid("serving needs at least one template"));
+        }
+
+        // Price every template on every pool through the inner estimator.
+        // A pool that refuses a template (Runtime error: the hash table fits
+        // no execution mode there) just cannot serve it.
+        let mut servers = Vec::new();
+        let mut pool_ids = Vec::new();
+        for (label, ids, spec) in Self::pools(design)? {
+            let mut profiles = Vec::with_capacity(params.templates.len());
+            for template in &params.templates {
+                match self.inner.estimate(template, &spec) {
+                    Ok(record) => profiles.push(Some(ServiceProfile {
+                        time: record.response_time,
+                        energy: record.energy,
+                    })),
+                    Err(CoreError::Runtime(_)) => profiles.push(None),
+                    Err(err) => return Err(err),
+                }
+            }
+            if profiles.iter().any(Option::is_some) {
+                let idle_power = ids
+                    .iter()
+                    .map(|&id| design.nodes()[id].idle_power)
+                    .sum::<Watts>();
+                servers.push(ServingServer {
+                    label,
+                    idle_power,
+                    profiles,
+                });
+                pool_ids.push(ids);
+            }
+        }
+        for (index, template) in params.templates.iter().enumerate() {
+            if !servers.iter().any(|s| s.can_serve(index)) {
+                return Err(CoreError::Runtime(PStoreError::planning(format!(
+                    "template '{}' fits no pool of design {}",
+                    template.label,
+                    design.label()
+                ))));
+            }
+        }
+
+        let config = ServingConfig {
+            qps: params.qps,
+            duration: params.duration,
+            template_theta: params.template_theta,
+            queue_capacity: params.queue_capacity,
+            max_wait: params.max_wait,
+            seed: params.seed,
+            service: eedc_dbmsim::ServiceDistribution::Deterministic,
+        };
+        let result = match self.policy {
+            ServingPolicy::Fcfs => simulate_serving(&servers, &config, &mut FcfsScheduler),
+            ServingPolicy::EnergyAware => {
+                simulate_serving(&servers, &config, &mut EnergyAwareScheduler)
+            }
+        }?;
+
+        // Per-node shares in cluster node order: each node carries its
+        // pool's utilization and an equal split of the pool's energy (pools
+        // are homogeneous, so the split is exact under a uniform layout).
+        let mut node_utilization = vec![0.0; design.len()];
+        let mut node_energy = vec![Joules::zero(); design.len()];
+        for (pool, ids) in pool_ids.iter().enumerate() {
+            let share = result.server_energy[pool] / ids.len() as f64;
+            for &id in ids {
+                node_utilization[id] = result.server_utilization(pool);
+                node_energy[id] = share;
+            }
+        }
+
+        let stats = ServingStats {
+            scheduler: result.scheduler.clone(),
+            offered_qps: result.offered_qps,
+            achieved_qps: result.achieved_qps(),
+            arrivals: result.arrivals,
+            completed: result.completed,
+            dropped: result.dropped,
+            timed_out: result.timed_out,
+            drop_rate: result.drop_rate(),
+            p50: result.p50(),
+            p95: result.p95(),
+            p99: result.p99(),
+            mean_latency: result.mean_latency(),
+            mean_wait: result.mean_wait,
+            energy_per_query: result.energy_per_query(),
+        };
+        Ok(RunRecord {
+            workload: plan.label.clone(),
+            estimator: self.name(),
+            design: design.label(),
+            strategy: plan.strategy,
+            mode: if pool_ids.len() > 1 {
+                ExecutionMode::Heterogeneous
+            } else {
+                ExecutionMode::Homogeneous
+            },
+            concurrency: plan.sweep.concurrency,
+            response_time: result.mean_latency(),
+            energy: result.energy,
+            node_utilization,
+            node_energy,
+            phases: Vec::new(),
+            output_rows: None,
+            serving: Some(stats),
+            normalized: None,
+        })
     }
 }
 
@@ -1143,7 +1506,7 @@ pub(crate) fn evaluate_series(
 mod tests {
     use super::*;
     use crate::model::SweepJoin;
-    use crate::workload::{ConcurrencySweep, ProfiledQuery, SkewedJoin};
+    use crate::workload::{ConcurrencySweep, ProfiledQuery, ServingWorkload, SkewedJoin};
     use eedc_simkit::catalog::{cluster_v_node, laptop_b};
 
     fn sweep() -> SweepJoin {
@@ -1657,6 +2020,178 @@ mod tests {
         let mut truncated = JsonValue::object();
         truncated.set("series", vec![0.0]);
         assert!(ExperimentReport::from_json(&truncated).is_err());
+    }
+
+    #[test]
+    fn serving_tail_latency_grows_strictly_with_offered_load() {
+        // A single 4-node design served at 30/60/90% of its analytical
+        // service rate: queueing theory says the tail must stretch as the
+        // load approaches saturation, and the simulator must reproduce it.
+        let design = homogeneous(4);
+        let service_time = Analytical
+            .estimate(&sweep().plans()[0], &design)
+            .unwrap()
+            .response_time
+            .value();
+        let mu = 1.0 / service_time;
+        let window = Seconds(3_000.0 * service_time);
+        let workload = ServingWorkload::new(&sweep(), mu * 0.3, window, 77).qps_sweep([
+            mu * 0.3,
+            mu * 0.6,
+            mu * 0.9,
+        ]);
+        let report = Experiment::new(&workload)
+            .designs([design])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        assert_eq!(report.series.len(), 3, "one series per offered QPS");
+        let stats: Vec<&ServingStats> = report
+            .series
+            .iter()
+            .map(|s| s.records[0].serving.as_ref().unwrap())
+            .collect();
+        for s in &stats {
+            assert!(s.completed > 500, "enough arrivals to trust the tail");
+            assert_eq!(s.dropped + s.timed_out, 0);
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+            assert!(s.energy_per_query.value() > 0.0);
+        }
+        assert!(
+            stats[0].p99 < stats[1].p99 && stats[1].p99 < stats[2].p99,
+            "p99 must grow strictly with offered load: {:?}",
+            stats.iter().map(|s| s.p99).collect::<Vec<_>>()
+        );
+        // The mean service rate bounds achieved throughput from above.
+        assert!(stats[2].achieved_qps <= mu * 1.01);
+    }
+
+    #[test]
+    fn serving_places_across_beefy_and_wimpy_pools() {
+        // A join small enough that the Wimpy pool can serve it too.
+        let mut small = sweep();
+        small.build_bytes = Megabytes(2_000.0);
+        small.probe_bytes = Megabytes(8_000.0);
+        let design = ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 4).unwrap();
+        let beefy_pool = ClusterSpec::homogeneous(cluster_v_node(), 4).unwrap();
+        let wimpy_pool = ClusterSpec::homogeneous(laptop_b(), 4).unwrap();
+        let plan = &small.plans()[0];
+        let beefy_energy = Analytical.estimate(plan, &beefy_pool).unwrap().energy;
+        let wimpy_energy = Analytical.estimate(plan, &wimpy_pool).unwrap().energy;
+        // Load light enough that the preferred pool is almost always idle.
+        let slowest = Analytical
+            .estimate(plan, &wimpy_pool)
+            .unwrap()
+            .response_time
+            .value()
+            .max(
+                Analytical
+                    .estimate(plan, &beefy_pool)
+                    .unwrap()
+                    .response_time
+                    .value(),
+            );
+        let qps = 0.05 / slowest;
+        let workload = ServingWorkload::new(&small, qps, Seconds(2_000.0 * slowest), 5);
+        let report = Experiment::new(&workload)
+            .designs([design])
+            .estimator(Serving::fcfs())
+            .estimator(Serving::energy_aware())
+            .run()
+            .unwrap();
+        let fcfs = &report.series[0].records[0];
+        let aware = &report.series[1].records[0];
+        assert_eq!(fcfs.estimator, "serving");
+        assert_eq!(aware.estimator, "serving:energy-aware");
+        assert_eq!(fcfs.mode, ExecutionMode::Heterogeneous);
+        assert_eq!(fcfs.node_utilization.len(), 8);
+        assert!(fcfs.serving.as_ref().unwrap().completed > 50);
+        // FCFS takes the first capable pool — the Beefy nodes (ids 0..4).
+        assert!(fcfs.node_utilization[0] > fcfs.node_utilization[4] * 2.0);
+        // The energy-aware placer routes to whichever pool is cheaper.
+        let (cheap, pricey) = if wimpy_energy < beefy_energy {
+            (4, 0)
+        } else {
+            (0, 4)
+        };
+        assert!(
+            aware.node_utilization[cheap] > aware.node_utilization[pricey] * 2.0,
+            "energy-aware must prefer the cheaper pool ({:?})",
+            aware.node_utilization
+        );
+        // Per-node energies cover every node (idle power never reads zero)
+        // and sum to the record total.
+        assert!(aware.node_energy.iter().all(|e| e.value() > 0.0));
+        let total: f64 = aware.node_energy.iter().map(|e| e.value()).sum();
+        assert!((total - aware.energy.value()).abs() < 1e-6 * total);
+    }
+
+    #[test]
+    fn serving_requires_params_and_records_infeasible_designs() {
+        // A plan without serving parameters is a caller error, not an
+        // infeasible design.
+        let bare = sweep().plans().remove(0);
+        let err = Serving::fcfs()
+            .estimate(&bare, &homogeneous(4))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Invalid(_)), "{err}");
+        // A design where the big join fits no pool is recorded infeasible,
+        // exactly like the other lenses.
+        let workload = ServingWorkload::new(&sweep(), 0.001, Seconds(10_000.0), 9);
+        let report = Experiment::new(&workload)
+            .designs([
+                homogeneous(16),
+                ClusterSpec::homogeneous(laptop_b(), 4).unwrap(),
+            ])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let series = &report.series[0];
+        assert_eq!(series.records.len(), 1);
+        assert_eq!(series.infeasible.len(), 1);
+        assert_eq!(series.infeasible[0].0, "0B,4W");
+        assert!(series.infeasible[0].1.contains("fits no pool"));
+    }
+
+    #[test]
+    fn serving_records_round_trip_and_old_reports_stay_byte_compatible() {
+        // New serving fields round-trip through the JSON reader.
+        let workload = ServingWorkload::new(&sweep(), 0.002, Seconds(50_000.0), 31);
+        let report = Experiment::new(&workload)
+            .designs([homogeneous(16), homogeneous(8)])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let json = report.to_json_string();
+        assert!(json.contains("\"serving\""), "{json}");
+        assert!(json.contains("\"p99_s\""));
+        assert!(json.contains("\"drop_rate\""));
+        assert!(json.contains("\"energy_per_query_j\""));
+        let restored = ExperimentReport::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(restored, report);
+        assert_eq!(
+            restored.to_json_string(),
+            json,
+            "bit-equal re-serialization"
+        );
+        // Reports written before the serving lens carry no "serving" key;
+        // they parse to None and re-serialize byte-identically.
+        let old_report = Experiment::new(&sweep())
+            .designs([homogeneous(16), homogeneous(8)])
+            .estimator(Analytical)
+            .run()
+            .unwrap();
+        let old_json = old_report.to_json_string();
+        assert!(
+            !old_json.contains("\"serving\""),
+            "non-serving records omit the key"
+        );
+        let old_restored =
+            ExperimentReport::from_json(&JsonValue::parse(&old_json).unwrap()).unwrap();
+        assert!(old_restored
+            .records()
+            .all(|record| record.serving.is_none()));
+        assert_eq!(old_restored.to_json_string(), old_json, "byte-compatible");
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! # eedc-core
 //!
-//! The experiment API unifying the paper's four evaluation lenses, plus the
+//! The experiment API unifying the paper's five evaluation lenses, plus the
 //! analytical cluster design model of Section 5.4 and the design-space
 //! advisor of Section 6.
 //!
 //! * [`workload`] — the [`Workload`] trait and its implementations
 //!   ([`SweepJoin`], [`ConcurrencySweep`], Zipf-skewed [`SkewedJoin`],
-//!   profile-driven [`ProfiledQuery`]): *what* is evaluated.
-//! * [`experiment`] — the [`Estimator`] trait and its four lenses
+//!   profile-driven [`ProfiledQuery`], and the open-loop
+//!   [`ServingWorkload`] wrapper): *what* is evaluated.
+//! * [`experiment`] — the [`Estimator`] trait and its five lenses
 //!   ([`Measured`] P-store runs, [`Analytical`] closed-form predictions,
 //!   [`Behavioural`] first-order scaling, [`Traced`] utilization-trace
-//!   replay under engine behaviours), the builder-style [`Experiment`]
-//!   runner, and the uniform [`RunRecord`] every lens yields: *how* it is
-//!   evaluated.
+//!   replay under engine behaviours, [`Serving`] discrete-event query
+//!   streams with latency percentiles and energy-per-query), the
+//!   builder-style [`Experiment`] runner, and the uniform [`RunRecord`]
+//!   every lens yields: *how* it is evaluated.
 //! * [`model`] — closed-form per-phase response-time and energy predictions
 //!   for any `(b Beefy, w Wimpy)` cluster design running the sweep join
 //!   (700 GB ORDERS ⋈ 2.8 TB LINEITEM in the paper's sweeps): scan rates,
@@ -46,11 +48,14 @@ pub use advisor::{DesignAdvisor, DesignSpace, DesignSpaceReport, Recommendation}
 pub use error::CoreError;
 pub use experiment::{
     Analytical, Behavioural, Estimator, Experiment, ExperimentReport, Measured, PhaseRecord,
-    RunRecord, RunSeries, Traced,
+    RunRecord, RunSeries, Serving, ServingStats, Traced,
 };
 pub use json::JsonValue;
 pub use model::{AnalyticalModel, ModelPrediction, PhasePrediction, SweepJoin};
-pub use workload::{ConcurrencySweep, ProfiledQuery, SkewedJoin, Workload, WorkloadPlan};
+pub use workload::{
+    ConcurrencySweep, ProfiledQuery, ServingParams, ServingWorkload, SkewedJoin, Workload,
+    WorkloadPlan,
+};
 
 pub mod params {
     //! Published parameters of the Section 5.4 model sweeps.

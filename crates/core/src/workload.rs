@@ -54,6 +54,32 @@ pub struct WorkloadPlan {
     /// a unit (1 s) anchor — predictions are then *relative*, exactly as
     /// Figures 1–2 plot them.
     pub reference_time: Option<Seconds>,
+    /// Optional open-loop serving parameters, attached by
+    /// [`ServingWorkload`] and read by the `Serving` estimator lens; every
+    /// other estimator ignores them and evaluates the plan's single query.
+    pub serving: Option<ServingParams>,
+}
+
+/// Open-loop serving parameters a [`ServingWorkload`] attaches to its plans:
+/// the offered load, the arrival window, the template mix, and the admission
+/// queue bounds the `Serving` lens simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingParams {
+    /// Offered load: mean Poisson arrivals per second.
+    pub qps: f64,
+    /// Length of the arrival window.
+    pub duration: Seconds,
+    /// Zipf skew of the template mix (`0.0` is uniform).
+    pub template_theta: f64,
+    /// Admission-queue bound; arrivals beyond it are dropped.
+    pub queue_capacity: usize,
+    /// Queued queries waiting longer than this time out; `None` disables.
+    pub max_wait: Option<Seconds>,
+    /// RNG seed — same seed, same report, bit for bit.
+    pub seed: u64,
+    /// The query templates arrivals draw from, in Zipf-weight order (the
+    /// templates themselves carry no serving parameters).
+    pub templates: Vec<WorkloadPlan>,
 }
 
 impl WorkloadPlan {
@@ -73,6 +99,7 @@ impl WorkloadPlan {
             skew: None,
             profile: None,
             reference_time: None,
+            serving: None,
         }
     }
 
@@ -300,7 +327,121 @@ impl Workload for ProfiledQuery {
             skew: None,
             profile: Some(self.profile.clone()),
             reference_time: Some(self.reference_time),
+            serving: None,
         }]
+    }
+}
+
+/// A long-lived *service* as a workload: open-loop Poisson arrivals at one
+/// or more offered QPS levels, drawing query templates from an inner
+/// workload's plans under a Zipf mix, with a bounded admission queue —
+/// one [`WorkloadPlan`] per QPS level, each carrying [`ServingParams`] for
+/// the `Serving` estimator lens. Sweeping the levels across designs yields
+/// the throughput–energy Pareto curves the paper's question ultimately asks
+/// about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingWorkload {
+    base_label: String,
+    templates: Vec<WorkloadPlan>,
+    qps_levels: Vec<f64>,
+    duration: Seconds,
+    template_theta: f64,
+    queue_capacity: usize,
+    max_wait: Option<Seconds>,
+    seed: u64,
+}
+
+impl ServingWorkload {
+    /// Serve the inner workload's plans as query templates at one offered
+    /// QPS over the given arrival window, with a deterministic seed.
+    pub fn new(templates: &dyn Workload, qps: f64, duration: Seconds, seed: u64) -> Self {
+        Self {
+            base_label: templates.label(),
+            templates: templates
+                .plans()
+                .into_iter()
+                .map(|mut plan| {
+                    // Templates are single queries; nested serving
+                    // parameters would recurse.
+                    plan.serving = None;
+                    plan
+                })
+                .collect(),
+            qps_levels: vec![qps],
+            duration,
+            template_theta: 0.0,
+            queue_capacity: 1024,
+            max_wait: None,
+            seed,
+        }
+    }
+
+    /// Replace the single QPS level with a sweep (one plan per level).
+    pub fn qps_sweep(mut self, levels: impl IntoIterator<Item = f64>) -> Self {
+        self.qps_levels = levels.into_iter().collect();
+        self
+    }
+
+    /// Set the Zipf skew of the template mix.
+    pub fn template_theta(mut self, theta: f64) -> Self {
+        self.template_theta = theta;
+        self
+    }
+
+    /// Set the admission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Enable queue-wait timeouts.
+    pub fn max_wait(mut self, wait: Seconds) -> Self {
+        self.max_wait = Some(wait);
+        self
+    }
+
+    /// The swept offered-QPS levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.qps_levels
+    }
+
+    /// The query templates arrivals draw from.
+    pub fn templates(&self) -> &[WorkloadPlan] {
+        &self.templates
+    }
+}
+
+impl Workload for ServingWorkload {
+    fn label(&self) -> String {
+        format!("serving {}", self.base_label)
+    }
+
+    fn plans(&self) -> Vec<WorkloadPlan> {
+        if self.templates.is_empty() {
+            // An empty template set expands to no plans; Experiment::run
+            // reports the absence rather than panicking here.
+            return Vec::new();
+        }
+        self.qps_levels
+            .iter()
+            .map(|&qps| {
+                // The plan's own sweep/query/strategy mirror the first
+                // template, so non-serving estimators evaluate a meaningful
+                // single query instead of failing.
+                let mut plan = self.templates[0].clone();
+                plan.label = format!("{} @{qps}qps", self.label());
+                plan.serving = Some(ServingParams {
+                    qps,
+                    duration: self.duration,
+                    template_theta: self.template_theta,
+                    queue_capacity: self.queue_capacity,
+                    max_wait: self.max_wait,
+                    seed: self.seed,
+                    templates: self.templates.clone(),
+                });
+                plan
+            })
+            .collect()
     }
 }
 
@@ -366,6 +507,40 @@ mod tests {
         // The hot partition carries more than the uniform share.
         assert!(skewed.hot_partition_fraction(8) > 1.0 / 8.0);
         assert_eq!(skewed.hot_partition_fraction(0), 1.0);
+    }
+
+    #[test]
+    fn serving_workload_expands_one_plan_per_qps_level() {
+        let sweep = ConcurrencySweep::paper(base());
+        let serving = ServingWorkload::new(&sweep, 0.5, Seconds(600.0), 7)
+            .qps_sweep([0.25, 0.5, 1.0])
+            .template_theta(1.0)
+            .queue_capacity(32)
+            .max_wait(Seconds(30.0));
+        assert_eq!(serving.levels(), &[0.25, 0.5, 1.0]);
+        assert_eq!(serving.templates().len(), 3);
+        assert!(Workload::label(&serving).starts_with("serving"));
+        let plans = serving.plans();
+        assert_eq!(plans.len(), 3);
+        for (plan, &qps) in plans.iter().zip(serving.levels()) {
+            let params = plan.serving.as_ref().expect("serving params ride along");
+            assert_eq!(params.qps, qps);
+            assert_eq!(params.duration, Seconds(600.0));
+            assert_eq!(params.template_theta, 1.0);
+            assert_eq!(params.queue_capacity, 32);
+            assert_eq!(params.max_wait, Some(Seconds(30.0)));
+            assert_eq!(params.seed, 7);
+            assert_eq!(params.templates.len(), 3);
+            assert!(
+                params.templates.iter().all(|t| t.serving.is_none()),
+                "templates must not nest serving parameters"
+            );
+            assert!(plan.label.contains("qps"), "{}", plan.label);
+            // The plan mirrors the first template for non-serving lenses.
+            assert_eq!(plan.sweep, params.templates[0].sweep);
+        }
+        // Ordinary workloads carry no serving parameters.
+        assert!(base().plans()[0].serving.is_none());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   the Section 3.2 **DBMS-X** behaviour of disk-staged intermediates and
 //!   mid-query restarts ([`EngineBehaviour::dbms_x`]), versus the pipelined
 //!   P-store behaviour ([`EngineBehaviour::pstore_like`]).
+//! * [`serving`] — the **discrete-event serving simulator** on the
+//!   `eedc-simkit` event kernel: open-loop Poisson arrivals with a
+//!   Zipf-skewed template mix, a bounded admission queue with drop/timeout
+//!   accounting, and pluggable [`Scheduler`]s (FCFS vs an energy-aware
+//!   Beefy-vs-Wimpy placer). Per-query costs are closed-form inputs; the
+//!   module adds the queueing behaviour — latency percentiles, drops,
+//!   saturation — that backs the fifth estimator lens (`Serving`).
 //!
 //! In `eedc-core` the trace pipeline backs the fourth estimator lens
 //! (`Traced`), next to the measured, analytical and behavioural lenses, so
@@ -60,11 +67,16 @@
 pub mod engines;
 pub mod replay;
 pub mod scaling;
+pub mod serving;
 pub mod trace;
 
 pub use engines::{EngineBehaviour, RestartPolicy};
 pub use replay::{replay, ReplayPhase, ReplayResult};
 pub use scaling::{BehaviouralModel, BehaviouralPrediction};
+pub use serving::{
+    simulate_serving, EnergyAwareScheduler, FcfsScheduler, Scheduler, ServiceDistribution,
+    ServiceProfile, ServingConfig, ServingResult, ServingServer,
+};
 pub use trace::{
     busy_share_from_utilization, utilization_from_busy_share, BusyShares, TracePhase,
     UtilizationTrace,

@@ -1,0 +1,854 @@
+//! Discrete-event *serving* simulator: open-loop arrivals, admission
+//! queueing, pluggable placement.
+//!
+//! Everything else in this crate (and in the analytical model) evaluates one
+//! query at a time in closed form. This module models a cluster run as a
+//! long-lived **service**: queries arrive as an open-loop Poisson process at
+//! a configured QPS, each arrival draws a query *template* from a
+//! Zipf-skewed mix, a bounded admission queue absorbs bursts (with drop and
+//! timeout accounting), and a [`Scheduler`] places each admitted query on one
+//! of several single-query *servers* (for a heterogeneous design: the Beefy
+//! pool and the Wimpy pool). Per-query service times and energies are
+//! **inputs** ([`ServiceProfile`]) — they come from the existing closed-form
+//! machinery (`eedc-core`'s analytical/traced estimators), not from new
+//! physics; what this layer adds is the queueing behaviour those closed
+//! forms cannot express: latency percentiles, drops, saturation.
+//!
+//! Event flow (each hop is one event on the [`Simulation`] kernel):
+//!
+//! ```text
+//! arrival ──▶ admission queue ──▶ scheduler ──▶ service ──▶ completion
+//!    │             │ (bounded)        │ (FCFS /                 │
+//!    └─ schedules  └─ drop / timeout  │  energy-aware)          └─ pops the
+//!       the next      accounting      └─ picks an idle             queue
+//!       arrival                          capable server
+//! ```
+//!
+//! Determinism: every random draw (inter-arrival gaps, template selection,
+//! service-time jitter) comes from the kernel's seeded RNG, so a given
+//! `(servers, config, scheduler)` triple reproduces bit-identically.
+
+use eedc_simkit::error::SimError;
+use eedc_simkit::sim::{EventHandler, Simulation};
+use eedc_simkit::units::{Joules, Seconds, Watts};
+use std::collections::VecDeque;
+
+/// Closed-form cost of running one query template on one server: the service
+/// time and the energy drawn *above idle* while serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProfile {
+    /// Mean service time of the template on this server.
+    pub time: Seconds,
+    /// Energy consumed serving one query of the template.
+    pub energy: Joules,
+}
+
+/// One logical server: a pool of nodes that serves one query at a time.
+///
+/// For a heterogeneous `(b Beefy, w Wimpy)` design the serving layer builds
+/// two servers — the Beefy pool and the Wimpy pool — so the scheduler's
+/// per-query choice *is* the paper's Beefy-vs-Wimpy placement decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingServer {
+    /// Human-readable label (e.g. `"beefy(4)"`, `"wimpy(16)"`).
+    pub label: String,
+    /// Wall power the pool burns while idle between queries.
+    pub idle_power: Watts,
+    /// Per-template cost, indexed by template id; `None` marks a template
+    /// this server cannot serve (e.g. the build side overflows its memory).
+    pub profiles: Vec<Option<ServiceProfile>>,
+}
+
+impl ServingServer {
+    /// Whether this server can serve the given template.
+    pub fn can_serve(&self, template: usize) -> bool {
+        self.profiles.get(template).is_some_and(|p| p.is_some())
+    }
+}
+
+/// Service-time law applied around the profile's mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceDistribution {
+    /// Every query of a template takes exactly the profile time (the
+    /// closed-form machinery is deterministic, so this is the default).
+    Deterministic,
+    /// Exponentially distributed around the profile mean — the M/M/1 law the
+    /// kernel is cross-validated against.
+    Exponential,
+}
+
+/// Parameters of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Offered load: mean arrivals per second of the Poisson process.
+    pub qps: f64,
+    /// Length of the arrival window; completions are drained past it.
+    pub duration: Seconds,
+    /// Zipf skew of the template mix: template `i` has weight
+    /// `(i + 1)^-theta`. `0.0` is a uniform mix.
+    pub template_theta: f64,
+    /// Admission-queue bound; arrivals beyond it are dropped.
+    pub queue_capacity: usize,
+    /// Queued queries waiting longer than this time out (checked lazily at
+    /// the next arrival or completion). `None` disables timeouts.
+    pub max_wait: Option<Seconds>,
+    /// RNG seed; same seed ⇒ bit-identical run.
+    pub seed: u64,
+    /// Service-time law.
+    pub service: ServiceDistribution,
+}
+
+impl ServingConfig {
+    /// A deterministic-service, uniform-mix configuration with a generous
+    /// (but bounded) admission queue.
+    pub fn new(qps: f64, duration: Seconds, seed: u64) -> Self {
+        ServingConfig {
+            qps,
+            duration,
+            template_theta: 0.0,
+            queue_capacity: 1024,
+            max_wait: None,
+            seed,
+            service: ServiceDistribution::Deterministic,
+        }
+    }
+
+    /// Set the Zipf skew of the template mix.
+    pub fn template_theta(mut self, theta: f64) -> Self {
+        self.template_theta = theta;
+        self
+    }
+
+    /// Set the admission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Enable queue-wait timeouts.
+    pub fn max_wait(mut self, wait: Seconds) -> Self {
+        self.max_wait = Some(wait);
+        self
+    }
+
+    /// Use exponentially distributed service times.
+    pub fn exponential_service(mut self) -> Self {
+        self.service = ServiceDistribution::Exponential;
+        self
+    }
+}
+
+/// Placement policy: given an admitted query's template and the currently
+/// idle servers, pick where it runs.
+pub trait Scheduler {
+    /// Policy name, recorded in results.
+    fn name(&self) -> String;
+    /// Choose one of `idle` (indices into `servers`) able to serve
+    /// `template`, or `None` to queue the query. Implementations must be
+    /// deterministic functions of their arguments.
+    fn place(
+        &mut self,
+        template: usize,
+        idle: &[usize],
+        servers: &[ServingServer],
+    ) -> Option<usize>;
+}
+
+/// FCFS baseline: the first idle server (in id order) that can serve the
+/// template.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsScheduler;
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> String {
+        "fcfs".into()
+    }
+
+    fn place(
+        &mut self,
+        template: usize,
+        idle: &[usize],
+        servers: &[ServingServer],
+    ) -> Option<usize> {
+        idle.iter()
+            .copied()
+            .find(|&s| servers[s].can_serve(template))
+    }
+}
+
+/// Energy-aware placer: among idle servers able to serve the template, pick
+/// the one whose profile costs the fewest joules (ties break to the lower
+/// id). This is the per-query Beefy-vs-Wimpy decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyAwareScheduler;
+
+impl Scheduler for EnergyAwareScheduler {
+    fn name(&self) -> String {
+        "energy-aware".into()
+    }
+
+    fn place(
+        &mut self,
+        template: usize,
+        idle: &[usize],
+        servers: &[ServingServer],
+    ) -> Option<usize> {
+        idle.iter()
+            .copied()
+            .filter(|&s| servers[s].can_serve(template))
+            .min_by(|&a, &b| {
+                let ea = servers[a].profiles[template].expect("filtered").energy;
+                let eb = servers[b].profiles[template].expect("filtered").energy;
+                ea.value()
+                    .partial_cmp(&eb.value())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+    }
+}
+
+/// Aggregated outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingResult {
+    /// Name of the scheduler that placed the queries.
+    pub scheduler: String,
+    /// Offered load (arrivals per second).
+    pub offered_qps: f64,
+    /// Configured arrival window.
+    pub window: Seconds,
+    /// End of the run: the later of the arrival window and the last
+    /// completion. Idle energy is metered over this span.
+    pub makespan: Seconds,
+    /// Queries that arrived.
+    pub arrivals: usize,
+    /// Queries that completed service.
+    pub completed: usize,
+    /// Arrivals rejected because the admission queue was full.
+    pub dropped: usize,
+    /// Queued queries abandoned after waiting longer than `max_wait`.
+    pub timed_out: usize,
+    /// Completed-query latencies (arrival → completion), sorted ascending.
+    pub latencies: Vec<f64>,
+    /// Mean time admitted queries waited before service started.
+    pub mean_wait: Seconds,
+    /// Total energy over the makespan: query energy plus idle power.
+    pub energy: Joules,
+    /// Energy attributed to query execution.
+    pub query_energy: Joules,
+    /// Energy burned idling between queries.
+    pub idle_energy: Joules,
+    /// Per-server busy time.
+    pub server_busy: Vec<Seconds>,
+    /// Per-server total energy (query energy plus that server's idle power
+    /// over its idle time). Sums to `energy`.
+    pub server_energy: Vec<Joules>,
+    /// Per-server completed-query counts.
+    pub server_queries: Vec<usize>,
+    /// Per-template completed-query counts.
+    pub template_completed: Vec<usize>,
+}
+
+impl ServingResult {
+    /// Nearest-rank percentile of the completed-query latency distribution
+    /// (`p` in `(0, 100]`); zero when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> Seconds {
+        if self.latencies.is_empty() {
+            return Seconds::zero();
+        }
+        let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
+        Seconds(self.latencies[rank.clamp(1, self.latencies.len()) - 1])
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Seconds {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Seconds {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Seconds {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean completed-query latency.
+    pub fn mean_latency(&self) -> Seconds {
+        if self.latencies.is_empty() {
+            return Seconds::zero();
+        }
+        Seconds(self.latencies.iter().sum::<f64>() / self.latencies.len() as f64)
+    }
+
+    /// Completions per second over the makespan.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.makespan.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        self.completed as f64 / self.makespan.value()
+    }
+
+    /// Fraction of arrivals lost to drops or timeouts.
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        (self.dropped + self.timed_out) as f64 / self.arrivals as f64
+    }
+
+    /// Total energy divided by completed queries (total energy when nothing
+    /// completed, so a fully-saturated run still reads as expensive).
+    pub fn energy_per_query(&self) -> Joules {
+        if self.completed == 0 {
+            return self.energy;
+        }
+        self.energy / self.completed as f64
+    }
+
+    /// Busy share of a server over the makespan.
+    pub fn server_utilization(&self, server: usize) -> f64 {
+        if self.makespan.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        (self.server_busy[server].value() / self.makespan.value()).clamp(0.0, 1.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ServingEvent {
+    Arrival,
+    Completion { server: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    arrival: f64,
+    template: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    arrival: f64,
+    template: usize,
+}
+
+struct ServingEngine<'a> {
+    servers: &'a [ServingServer],
+    scheduler: &'a mut dyn Scheduler,
+    config: &'a ServingConfig,
+    /// Cumulative Zipf weights over templates, last entry 1.0.
+    template_cdf: Vec<f64>,
+    idle: Vec<bool>,
+    in_flight: Vec<Option<InFlight>>,
+    queue: VecDeque<Queued>,
+    arrivals: usize,
+    dropped: usize,
+    timed_out: usize,
+    latencies: Vec<f64>,
+    wait_sum: f64,
+    wait_count: usize,
+    server_busy: Vec<f64>,
+    server_query_energy: Vec<f64>,
+    server_queries: Vec<usize>,
+    template_completed: Vec<usize>,
+}
+
+impl ServingEngine<'_> {
+    fn draw_template(&mut self, sim: &mut Simulation<ServingEvent>) -> usize {
+        let u = sim.sample_unit();
+        self.template_cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.template_cdf.len() - 1)
+    }
+
+    /// Remove queued entries that have outlived `max_wait`.
+    fn purge_expired(&mut self, now: f64) {
+        let Some(max_wait) = self.config.max_wait else {
+            return;
+        };
+        let before = self.queue.len();
+        self.queue.retain(|q| now - q.arrival <= max_wait.value());
+        self.timed_out += before - self.queue.len();
+    }
+
+    /// Start service for `query` on `server` at time `now`.
+    fn start(
+        &mut self,
+        sim: &mut Simulation<ServingEvent>,
+        server: usize,
+        query: Queued,
+        now: f64,
+    ) {
+        let profile = self.servers[server].profiles[query.template]
+            .expect("scheduler placed an unservable template");
+        let service = match self.config.service {
+            ServiceDistribution::Deterministic => profile.time.value(),
+            ServiceDistribution::Exponential => sim
+                .sample_exponential(profile.time.value())
+                .expect("profile times are validated positive"),
+        };
+        // Energy scales with actual service time, so exponential draws keep
+        // the profile's mean power.
+        let energy = profile.energy.value() * (service / profile.time.value());
+        self.idle[server] = false;
+        self.in_flight[server] = Some(InFlight {
+            arrival: query.arrival,
+            template: query.template,
+        });
+        self.wait_sum += now - query.arrival;
+        self.wait_count += 1;
+        self.server_busy[server] += service;
+        self.server_query_energy[server] += energy;
+        sim.schedule_in(service, ServingEvent::Completion { server })
+            .expect("service times are finite and non-negative");
+    }
+
+    /// Place an admitted query, or queue/drop it.
+    fn admit(&mut self, sim: &mut Simulation<ServingEvent>, query: Queued, now: f64) {
+        let idle: Vec<usize> = (0..self.servers.len()).filter(|&s| self.idle[s]).collect();
+        match self.scheduler.place(query.template, &idle, self.servers) {
+            Some(server) => self.start(sim, server, query, now),
+            None if self.queue.len() < self.config.queue_capacity => self.queue.push_back(query),
+            None => self.dropped += 1,
+        }
+    }
+}
+
+impl EventHandler<ServingEvent> for ServingEngine<'_> {
+    fn on_event(&mut self, sim: &mut Simulation<ServingEvent>, event: ServingEvent) {
+        let now = sim.time();
+        match event {
+            ServingEvent::Arrival => {
+                self.arrivals += 1;
+                self.purge_expired(now);
+                let template = self.draw_template(sim);
+                self.admit(
+                    sim,
+                    Queued {
+                        arrival: now,
+                        template,
+                    },
+                    now,
+                );
+                // Open loop: the next arrival is scheduled regardless of
+                // service progress, but only inside the arrival window.
+                let gap = sim
+                    .sample_exponential(1.0 / self.config.qps)
+                    .expect("qps is validated positive");
+                if now + gap < self.config.duration.value() {
+                    sim.schedule_in(gap, ServingEvent::Arrival)
+                        .expect("gap is finite and non-negative");
+                }
+            }
+            ServingEvent::Completion { server } => {
+                let done = self.in_flight[server]
+                    .take()
+                    .expect("completion for an idle server");
+                self.latencies.push(now - done.arrival);
+                self.template_completed[done.template] += 1;
+                self.server_queries[server] += 1;
+                self.idle[server] = true;
+                self.purge_expired(now);
+                // FCFS queue discipline with heterogeneous capability: the
+                // freed server takes the oldest queued query it can serve.
+                if let Some(pos) = self
+                    .queue
+                    .iter()
+                    .position(|q| self.servers[server].can_serve(q.template))
+                {
+                    let query = self.queue.remove(pos).expect("position is in bounds");
+                    self.start(sim, server, query, now);
+                }
+            }
+        }
+    }
+}
+
+/// Run one serving simulation to completion.
+///
+/// Validates the inputs, schedules the first arrival, and drives the event
+/// loop until the arrival window has passed and every admitted query has
+/// completed (or timed out).
+pub fn simulate_serving(
+    servers: &[ServingServer],
+    config: &ServingConfig,
+    scheduler: &mut dyn Scheduler,
+) -> Result<ServingResult, SimError> {
+    if servers.is_empty() {
+        return Err(SimError::invalid("serving needs at least one server"));
+    }
+    let templates = servers[0].profiles.len();
+    if templates == 0 {
+        return Err(SimError::invalid("serving needs at least one template"));
+    }
+    for server in servers {
+        if server.profiles.len() != templates {
+            return Err(SimError::invalid(format!(
+                "server '{}' profiles {} templates, expected {}",
+                server.label,
+                server.profiles.len(),
+                templates
+            )));
+        }
+        for profile in server.profiles.iter().flatten() {
+            if profile.time.value() <= 0.0 || !profile.time.value().is_finite() {
+                return Err(SimError::invalid(format!(
+                    "server '{}' has a non-positive service time",
+                    server.label
+                )));
+            }
+        }
+    }
+    for template in 0..templates {
+        if !servers.iter().any(|s| s.can_serve(template)) {
+            return Err(SimError::invalid(format!(
+                "no server can serve template {template}"
+            )));
+        }
+    }
+    if !config.qps.is_finite() || config.qps <= 0.0 {
+        return Err(SimError::invalid(format!(
+            "offered QPS must be positive, got {}",
+            config.qps
+        )));
+    }
+    if config.duration.value() <= 0.0 {
+        return Err(SimError::invalid("arrival window must be positive"));
+    }
+    if config.template_theta < 0.0 {
+        return Err(SimError::invalid("Zipf theta must be non-negative"));
+    }
+
+    // Zipf weights: template i gets (i + 1)^-theta, normalized to a CDF.
+    let weights: Vec<f64> = (0..templates)
+        .map(|i| ((i + 1) as f64).powf(-config.template_theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let template_cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+
+    let mut engine = ServingEngine {
+        servers,
+        scheduler,
+        config,
+        template_cdf,
+        idle: vec![true; servers.len()],
+        in_flight: vec![None; servers.len()],
+        queue: VecDeque::new(),
+        arrivals: 0,
+        dropped: 0,
+        timed_out: 0,
+        latencies: Vec::new(),
+        wait_sum: 0.0,
+        wait_count: 0,
+        server_busy: vec![0.0; servers.len()],
+        server_query_energy: vec![0.0; servers.len()],
+        server_queries: vec![0; servers.len()],
+        template_completed: vec![0; templates],
+    };
+
+    let mut sim: Simulation<ServingEvent> = Simulation::new(config.seed);
+    let first = sim.sample_exponential(1.0 / config.qps)?;
+    if first < config.duration.value() {
+        sim.schedule_in(first, ServingEvent::Arrival)?;
+    }
+    sim.run(&mut engine);
+
+    debug_assert!(engine.queue.is_empty(), "run ended with queued queries");
+    let makespan = sim.time().max(config.duration.value());
+    let mut latencies = engine.latencies;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    let server_energy: Vec<Joules> = (0..servers.len())
+        .map(|s| {
+            let idle_time = (makespan - engine.server_busy[s]).max(0.0);
+            Joules(engine.server_query_energy[s]) + servers[s].idle_power * Seconds(idle_time)
+        })
+        .collect();
+    let query_energy = Joules(engine.server_query_energy.iter().sum());
+    let energy = server_energy.iter().copied().sum::<Joules>();
+
+    Ok(ServingResult {
+        scheduler: engine.scheduler.name(),
+        offered_qps: config.qps,
+        window: config.duration,
+        makespan: Seconds(makespan),
+        arrivals: engine.arrivals,
+        completed: latencies.len(),
+        dropped: engine.dropped,
+        timed_out: engine.timed_out,
+        latencies,
+        mean_wait: Seconds(if engine.wait_count == 0 {
+            0.0
+        } else {
+            engine.wait_sum / engine.wait_count as f64
+        }),
+        energy,
+        query_energy,
+        idle_energy: energy - query_energy,
+        server_busy: engine.server_busy.into_iter().map(Seconds).collect(),
+        server_energy,
+        server_queries: engine.server_queries,
+        template_completed: engine.template_completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(label: &str, times: &[Option<(f64, f64)>], idle_power: f64) -> ServingServer {
+        ServingServer {
+            label: label.into(),
+            idle_power: Watts(idle_power),
+            profiles: times
+                .iter()
+                .map(|t| {
+                    t.map(|(time, energy)| ServiceProfile {
+                        time: Seconds(time),
+                        energy: Joules(energy),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Satellite: the queueing kernel against closed form. An M/M/1 queue at
+    /// ρ = λ/μ = 0.8 has mean wait ρ/(μ−λ) = 4 s; the simulated mean wait
+    /// must land within 5%.
+    #[test]
+    fn mm1_mean_wait_matches_closed_form() {
+        let lambda = 0.8;
+        let mu = 1.0;
+        let servers = vec![server("mm1", &[Some((1.0 / mu, 100.0))], 50.0)];
+        let config = ServingConfig::new(lambda, Seconds(150_000.0), 4242)
+            .queue_capacity(usize::MAX)
+            .exponential_service();
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert!(result.arrivals > 100_000, "arrivals {}", result.arrivals);
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.completed, result.arrivals);
+        let rho = lambda / mu;
+        let expected = rho / (mu - lambda);
+        let observed = result.mean_wait.value();
+        assert!(
+            (observed - expected).abs() / expected < 0.05,
+            "simulated mean wait {observed} vs M/M/1 closed form {expected}"
+        );
+        // Utilization converges to ρ as well.
+        assert!((result.server_utilization(0) - rho).abs() < 0.02);
+    }
+
+    /// Satellite: two runs with the same seed are bit-identical.
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let servers = vec![
+            server("beefy", &[Some((0.5, 300.0)), Some((2.0, 1200.0))], 120.0),
+            server("wimpy", &[Some((1.5, 90.0)), None], 30.0),
+        ];
+        let config = ServingConfig::new(1.2, Seconds(2_000.0), 99)
+            .template_theta(1.0)
+            .queue_capacity(16)
+            .max_wait(Seconds(20.0))
+            .exponential_service();
+        let a = simulate_serving(&servers, &config, &mut EnergyAwareScheduler).unwrap();
+        let b = simulate_serving(&servers, &config, &mut EnergyAwareScheduler).unwrap();
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        let other = ServingConfig {
+            seed: 100,
+            ..config
+        };
+        let c = simulate_serving(&servers, &other, &mut EnergyAwareScheduler).unwrap();
+        assert_ne!(a.latencies, c.latencies, "different seed must differ");
+    }
+
+    #[test]
+    fn saturation_fills_the_queue_and_drops() {
+        let servers = vec![server("slow", &[Some((1.0, 100.0))], 50.0)];
+        let config = ServingConfig::new(3.0, Seconds(500.0), 7).queue_capacity(8);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert!(result.dropped > 0, "offered 3× capacity must drop");
+        assert!(result.drop_rate() > 0.5);
+        assert_eq!(
+            result.completed + result.dropped + result.timed_out,
+            result.arrivals
+        );
+        // The server never idles once saturated; throughput pins near μ.
+        assert!(result.server_utilization(0) > 0.95);
+        assert!((result.achieved_qps() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn stale_queued_queries_time_out() {
+        let servers = vec![server("slow", &[Some((2.0, 100.0))], 50.0)];
+        let config = ServingConfig::new(2.0, Seconds(300.0), 11)
+            .queue_capacity(usize::MAX)
+            .max_wait(Seconds(4.0));
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert!(result.timed_out > 0, "stale queries must time out");
+        assert_eq!(result.dropped, 0, "unbounded queue never drops");
+        assert_eq!(
+            result.completed + result.timed_out,
+            result.arrivals,
+            "every arrival either completes or times out"
+        );
+        // Lazy expiry bounds the wait of *served* queries by max_wait plus
+        // one service time (the purge runs at the next event).
+        assert!(result.latencies.last().unwrap() <= &(4.0 + 2.0 + 2.0));
+    }
+
+    #[test]
+    fn energy_splits_into_query_and_idle_parts() {
+        let servers = vec![server("one", &[Some((1.0, 200.0))], 100.0)];
+        let config = ServingConfig::new(0.1, Seconds(1_000.0), 3);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        let busy = result.server_busy[0].value();
+        assert!((busy - result.completed as f64).abs() < 1e-9, "1 s each");
+        let expected_query = 200.0 * result.completed as f64;
+        assert!((result.query_energy.value() - expected_query).abs() < 1e-6);
+        let expected_idle = 100.0 * (result.makespan.value() - busy);
+        assert!((result.idle_energy.value() - expected_idle).abs() < 1e-6);
+        assert!(
+            (result.energy.value() - (result.query_energy.value() + result.idle_energy.value()))
+                .abs()
+                < 1e-6
+        );
+        assert!(
+            result.energy_per_query() > Joules(200.0),
+            "idle power amortizes in"
+        );
+    }
+
+    #[test]
+    fn energy_aware_placement_prefers_the_cheaper_pool() {
+        // Both pools can serve the single template; the wimpy pool is slower
+        // but far cheaper per query.
+        let servers = vec![
+            server("beefy", &[Some((0.5, 500.0))], 200.0),
+            server("wimpy", &[Some((1.0, 100.0))], 40.0),
+        ];
+        let config = ServingConfig::new(0.05, Seconds(20_000.0), 21);
+        let fcfs = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        let aware = simulate_serving(&servers, &config, &mut EnergyAwareScheduler).unwrap();
+        // At this light load the preferred server is almost always idle, so
+        // FCFS runs nearly everything on the beefy pool and the energy-aware
+        // placer nearly everything on the wimpy pool (the other pool only
+        // catches overflow).
+        assert!(fcfs.server_queries[0] > fcfs.server_queries[1] * 5);
+        assert!(aware.server_queries[1] > aware.server_queries[0] * 5);
+        assert!(aware.query_energy < fcfs.query_energy);
+        assert_eq!(aware.scheduler, "energy-aware");
+        assert_eq!(fcfs.scheduler, "fcfs");
+    }
+
+    #[test]
+    fn zipf_mix_skews_toward_early_templates() {
+        let profiles: Vec<Option<(f64, f64)>> = vec![Some((0.1, 10.0)); 5];
+        let servers = vec![server("s", &profiles, 50.0)];
+        let config = ServingConfig::new(2.0, Seconds(5_000.0), 13).template_theta(1.5);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        let counts = &result.template_completed;
+        assert!(
+            counts[0] > 2 * counts[1],
+            "theta=1.5 strongly favours template 0"
+        );
+        assert!(
+            counts.windows(2).all(|w| w[0] >= w[1]),
+            "monotone mix {counts:?}"
+        );
+        // Uniform mix spreads evenly.
+        let uniform_config = ServingConfig::new(2.0, Seconds(5_000.0), 13);
+        let uniform = simulate_serving(&servers, &uniform_config, &mut FcfsScheduler).unwrap();
+        let max = *uniform.template_completed.iter().max().unwrap() as f64;
+        let min = *uniform.template_completed.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform mix stays balanced");
+    }
+
+    #[test]
+    fn tail_latency_grows_with_offered_load() {
+        let servers = vec![server("s", &[Some((1.0, 100.0))], 50.0)];
+        let p99_at = |qps: f64| {
+            let config = ServingConfig::new(qps, Seconds(5_000.0), 17)
+                .queue_capacity(usize::MAX)
+                .exponential_service();
+            simulate_serving(&servers, &config, &mut FcfsScheduler)
+                .unwrap()
+                .p99()
+        };
+        let low = p99_at(0.3);
+        let mid = p99_at(0.6);
+        let high = p99_at(0.9);
+        assert!(
+            low < mid && mid < high,
+            "p99 must grow with load: {low:?} {mid:?} {high:?}"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let result = ServingResult {
+            scheduler: "fcfs".into(),
+            offered_qps: 1.0,
+            window: Seconds(1.0),
+            makespan: Seconds(1.0),
+            arrivals: 4,
+            completed: 4,
+            dropped: 0,
+            timed_out: 0,
+            latencies: vec![1.0, 2.0, 3.0, 4.0],
+            mean_wait: Seconds(0.0),
+            energy: Joules(0.0),
+            query_energy: Joules(0.0),
+            idle_energy: Joules(0.0),
+            server_busy: vec![Seconds(0.0)],
+            server_energy: vec![Joules(0.0)],
+            server_queries: vec![4],
+            template_completed: vec![4],
+        };
+        assert_eq!(result.p50(), Seconds(2.0));
+        assert_eq!(result.p95(), Seconds(4.0));
+        assert_eq!(result.p99(), Seconds(4.0));
+        assert_eq!(result.latency_percentile(1.0), Seconds(1.0));
+        assert_eq!(result.mean_latency(), Seconds(2.5));
+        let empty = ServingResult {
+            latencies: Vec::new(),
+            completed: 0,
+            ..result
+        };
+        assert_eq!(empty.p99(), Seconds::zero());
+        assert_eq!(empty.mean_latency(), Seconds::zero());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let ok = vec![server("s", &[Some((1.0, 1.0))], 1.0)];
+        let config = ServingConfig::new(1.0, Seconds(10.0), 1);
+        assert!(simulate_serving(&[], &config, &mut FcfsScheduler).is_err());
+        let no_templates = vec![server("s", &[], 1.0)];
+        assert!(simulate_serving(&no_templates, &config, &mut FcfsScheduler).is_err());
+        let unservable = vec![server("s", &[Some((1.0, 1.0)), None], 1.0)];
+        assert!(simulate_serving(&unservable, &config, &mut FcfsScheduler).is_err());
+        let ragged = vec![
+            server("a", &[Some((1.0, 1.0))], 1.0),
+            server("b", &[Some((1.0, 1.0)), Some((1.0, 1.0))], 1.0),
+        ];
+        assert!(simulate_serving(&ragged, &config, &mut FcfsScheduler).is_err());
+        let zero_time = vec![server("s", &[Some((0.0, 1.0))], 1.0)];
+        assert!(simulate_serving(&zero_time, &config, &mut FcfsScheduler).is_err());
+        let bad_qps = ServingConfig::new(0.0, Seconds(10.0), 1);
+        assert!(simulate_serving(&ok, &bad_qps, &mut FcfsScheduler).is_err());
+        let bad_duration = ServingConfig::new(1.0, Seconds(0.0), 1);
+        assert!(simulate_serving(&ok, &bad_duration, &mut FcfsScheduler).is_err());
+        let bad_theta = ServingConfig::new(1.0, Seconds(10.0), 1).template_theta(-1.0);
+        assert!(simulate_serving(&ok, &bad_theta, &mut FcfsScheduler).is_err());
+    }
+}

@@ -224,12 +224,15 @@ impl UtilizationTrace {
     /// Per-node CPU busy shares are recovered exactly from the measured
     /// per-node utilizations via [`busy_share_from_utilization`], so
     /// replaying the trace over the same nodes reproduces the measured
-    /// energy. Disk and network shares are phase-level: the runtime records
-    /// the completion time of the slowest producer scan and of the network
-    /// transfer, not per-node breakdowns, so every node carries the phase's
-    /// scan/network busy fraction. With memory-resident tables
-    /// (`in_memory`) scans run through the CPU pipeline and the disk share
-    /// is zero.
+    /// energy. Network shares are per-node: the runtime exports each node's
+    /// egress/ingress volumes and the resulting port-serialization time, so
+    /// a node that shipped nothing carries a zero network share instead of
+    /// the phase's transfer-completion fraction (stats recorded before the
+    /// per-node export fall back to that phase-level fraction). Disk shares
+    /// remain phase-level — the runtime records the completion time of the
+    /// slowest producer scan, not per-node scan times. With memory-resident
+    /// tables (`in_memory`) scans run through the CPU pipeline and the disk
+    /// share is zero.
     pub fn from_execution(
         execution: &QueryExecution,
         nodes: &[NodeSpec],
@@ -253,15 +256,15 @@ impl UtilizationTrace {
             } else {
                 phase.scan_fraction()
             };
-            let network = phase.network_fraction();
             let shares = phase
                 .node_utilization
                 .iter()
                 .zip(nodes)
-                .map(|(&u, spec)| BusyShares {
+                .enumerate()
+                .map(|(id, (&u, spec))| BusyShares {
                     cpu: busy_share_from_utilization(u, spec.utilization_floor),
                     disk,
-                    network,
+                    network: phase.node_network_fraction(id),
                 })
                 .collect();
             trace.push_phase(phase.label.clone(), phase.duration, shares)?;

@@ -16,7 +16,11 @@
 //! * [`Behavioural`] — the first-order Section 3.1 scaling law,
 //! * [`Traced`] — per-node utilization traces replayed through the power
 //!   models under an engine behaviour: the pipelined P-store engine or the
-//!   disk-staging, mid-query-restarting DBMS-X engine of Section 3.2.
+//!   disk-staging, mid-query-restarting DBMS-X engine of Section 3.2,
+//! * [`Serving`] — an open-loop Poisson query stream (wrap the workload in
+//!   a [`ServingWorkload`]) through the discrete-event serving simulator:
+//!   admission queueing, FCFS or energy-aware Beefy-vs-Wimpy placement,
+//!   latency percentiles and energy-per-query.
 //!
 //! Every lens yields the same [`RunRecord`] shape (response time, energy,
 //! EDP, per-node utilization/energy, normalized-vs-reference point), and
@@ -54,12 +58,12 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`simkit`] | `eedc-simkit` | units, power models, hardware catalog, metrics |
+//! | [`simkit`] | `eedc-simkit` | units, power models, hardware catalog, metrics, discrete-event sim kernel |
 //! | [`netsim`] | `eedc-netsim` | flow-level interconnect simulator |
 //! | [`storage`] | `eedc-storage` | columnar tables, partitioning, scans |
 //! | [`tpch`] | `eedc-tpch` | deterministic generators, scale arithmetic, profiles, Zipf skew |
 //! | [`pstore`] | `eedc-pstore` | operators, cluster runtime, concurrency, microbench |
-//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS simulators: scaling law, utilization-trace replay, engine behaviours |
+//! | [`dbmsim`] | `eedc-dbmsim` | behavioural DBMS simulators: scaling law, utilization-trace replay, engine behaviours, serving layer |
 //! | [`model`] | `eedc-core` | experiment API, Section 5.4 analytical model, Section 6 advisor, JSON writer/reader |
 //!
 //! A crate-by-crate tour with the full data-flow diagram lives in
@@ -80,8 +84,8 @@ pub use eedc_tpch as tpch;
 // level so examples and downstream code write `eedc::Experiment`.
 pub use eedc_core::{
     Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Estimator, Experiment,
-    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, SkewedJoin, SweepJoin, Traced,
-    Workload, WorkloadPlan,
+    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, Serving, ServingStats,
+    ServingWorkload, SkewedJoin, SweepJoin, Traced, Workload, WorkloadPlan,
 };
 
 #[cfg(test)]

@@ -612,6 +612,22 @@ impl PStoreCluster {
             Bottleneck::Compute
         };
 
+        // Per-node port accounting: what each node pushed and received, and
+        // how long its port was serializing the busier direction. The phase's
+        // `network_time` stays the fabric-level completion time (congestion
+        // included); the per-node times bound it from below and give trace
+        // exports the per-node fidelity synthesized traces already have.
+        let mut node_egress = Vec::with_capacity(nodes.len());
+        let mut node_ingress = Vec::with_capacity(nodes.len());
+        let mut node_network_time = Vec::with_capacity(nodes.len());
+        for (id, node) in nodes.iter().enumerate() {
+            let egress = flows.bytes_out_of(id);
+            let ingress = flows.bytes_into(id);
+            node_egress.push(egress);
+            node_ingress.push(ingress);
+            node_network_time.push(egress.max(ingress) / node.network_bandwidth);
+        }
+
         let mut energy = Joules::zero();
         let mut node_utilization = Vec::with_capacity(nodes.len());
         let mut node_energy = Vec::with_capacity(nodes.len());
@@ -641,6 +657,9 @@ impl PStoreCluster {
             bottleneck,
             node_utilization,
             node_energy,
+            node_egress,
+            node_ingress,
+            node_network_time,
         })
     }
 }

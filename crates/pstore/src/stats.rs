@@ -104,6 +104,15 @@ pub struct PhaseStats {
     /// Per-node energy over the phase, in cluster node order. Sums to
     /// `energy`; under join-key skew the hot node's share dominates.
     pub node_energy: Vec<Joules>,
+    /// Bytes each node pushed out of its egress port during the phase (at
+    /// nominal scale), in cluster node order.
+    pub node_egress: Vec<Megabytes>,
+    /// Bytes each node received on its ingress port during the phase (at
+    /// nominal scale), in cluster node order.
+    pub node_ingress: Vec<Megabytes>,
+    /// Port-serialization time per node — the busier of its two directions
+    /// over its port bandwidth — in cluster node order.
+    pub node_network_time: Vec<Seconds>,
 }
 
 impl PhaseStats {
@@ -143,6 +152,19 @@ impl PhaseStats {
     /// probing, in `[0, 1]`.
     pub fn compute_fraction(&self) -> f64 {
         self.busy_fraction(self.compute_time)
+    }
+
+    /// Fraction of the phase node `id`'s network port was serializing data,
+    /// in `[0, 1]`. Falls back to the phase-level [`network_fraction`]
+    /// (the completion time of the whole transfer) for stats recorded
+    /// before per-node volumes were exported.
+    ///
+    /// [`network_fraction`]: PhaseStats::network_fraction
+    pub fn node_network_fraction(&self, id: usize) -> f64 {
+        match self.node_network_time.get(id) {
+            Some(busy) => self.busy_fraction(*busy),
+            None => self.network_fraction(),
+        }
     }
 
     fn busy_fraction(&self, busy: Seconds) -> f64 {
@@ -229,6 +251,9 @@ mod tests {
             bottleneck,
             node_utilization: vec![0.5, 0.5],
             node_energy: vec![Joules(energy / 2.0), Joules(energy / 2.0)],
+            node_egress: vec![Megabytes(60.0), Megabytes(40.0)],
+            node_ingress: vec![Megabytes(50.0), Megabytes(50.0)],
+            node_network_time: vec![Seconds(duration), Seconds(duration * 0.25)],
         }
     }
 
@@ -291,6 +316,25 @@ mod tests {
             ..p
         };
         assert_eq!(idle.network_fraction(), 0.0);
+    }
+
+    #[test]
+    fn node_network_fraction_is_per_node_with_phase_level_fallback() {
+        // The fixture gives node 0 a port busy for the whole phase and node 1
+        // a port busy for a quarter of it.
+        let p = phase("build", 4.0, 1000.0, Bottleneck::Network);
+        assert!((p.node_network_fraction(0) - 1.0).abs() < 1e-12);
+        assert!((p.node_network_fraction(1) - 0.25).abs() < 1e-12);
+        // Stats recorded before per-node volumes were exported carry empty
+        // vectors; every node then reads the phase-level transfer fraction.
+        let legacy = PhaseStats {
+            node_egress: Vec::new(),
+            node_ingress: Vec::new(),
+            node_network_time: Vec::new(),
+            ..p.clone()
+        };
+        assert_eq!(legacy.node_network_fraction(0), legacy.network_fraction());
+        assert_eq!(legacy.node_network_fraction(1), legacy.network_fraction());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * the energy-efficiency [`metrics`] used throughout the paper: response time,
 //!   performance (1 / response time), energy, the Energy-Delay-Product (EDP) and
 //!   normalized energy-vs-performance points relative to a reference
-//!   configuration.
+//!   configuration,
+//! * a discrete-event [`sim`] kernel (queryable clock, binary-heap event queue
+//!   with stable FIFO tie-breaking, deterministic seeded RNG) that the serving
+//!   simulator in `eedc-dbmsim` builds on.
 //!
 //! The substrate is deliberately free of any database logic; the storage engine,
 //! the P-store execution kernel, the behavioural DBMS simulators and the
@@ -32,6 +35,7 @@ pub mod error;
 pub mod metrics;
 pub mod node;
 pub mod power;
+pub mod sim;
 pub mod trace;
 pub mod units;
 
@@ -41,5 +45,6 @@ pub use error::SimError;
 pub use metrics::{EdpLine, Measurement, NormalizedPoint, NormalizedSeries};
 pub use node::{NodeClass, NodeSpec, NodeSpecBuilder};
 pub use power::{FitReport, PowerModel, PowerSample};
+pub use sim::{Event, EventHandler, Simulation};
 pub use trace::UtilizationTrace;
 pub use units::{Joules, Megabytes, MegabytesPerSec, Seconds, Watts};

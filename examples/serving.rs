@@ -1,0 +1,75 @@
+//! Serving Pareto sweep: offer the same open-loop Poisson query stream to
+//! three cluster designs and compare the trade-off each one buys — tail
+//! latency versus energy per completed query — under FCFS and energy-aware
+//! placement. The `Serving` lens prices each query template per node pool
+//! with the closed-form model, then plays the stream through the
+//! discrete-event serving simulator (admission queue, scheduler,
+//! completions).
+
+use eedc::pstore::{ClusterSpec, JoinQuerySpec};
+use eedc::simkit::catalog::{cluster_v_node, laptop_b};
+use eedc::simkit::units::{Megabytes, Seconds};
+use eedc::{Analytical, Estimator, Experiment, Serving, ServingWorkload, SweepJoin, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A join small enough that Wimpy pools can serve it too — the designs
+    // then differ in how much Beefy capacity they keep for the same stream.
+    let mut template = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+    template.build_bytes = Megabytes(2_000.0);
+    template.probe_bytes = Megabytes(8_000.0);
+
+    let designs = [
+        ClusterSpec::homogeneous(cluster_v_node(), 8)?,
+        ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 8)?,
+        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 16)?,
+    ];
+
+    // Half the service rate of the all-Beefy reference: comfortably stable
+    // there, and revealing on designs that trade Beefy capacity away.
+    let service_time = Analytical
+        .estimate(&template.plans()[0], &designs[0])?
+        .response_time
+        .value();
+    let qps = 0.5 / service_time;
+    let window = Seconds(2_000.0 * service_time);
+    let workload = ServingWorkload::new(&template, qps, window, 42);
+
+    let report = Experiment::new(&workload)
+        .designs(designs)
+        .estimator(Serving::fcfs())
+        .estimator(Serving::energy_aware())
+        .run()?;
+
+    println!(
+        "offered load {qps:.4} qps over {:.0} s ({} schedulers x {} designs)",
+        window.value(),
+        report.series.len(),
+        report.series[0].records.len(),
+    );
+    for series in &report.series {
+        println!("{} lens:", series.estimator);
+        println!(
+            "  {:>8} {:>9} {:>9} {:>9} {:>7} {:>12}",
+            "design", "p50 (s)", "p99 (s)", "qps", "lost", "J/query"
+        );
+        for record in &series.records {
+            let stats = record.serving.as_ref().expect("serving lens fills stats");
+            println!(
+                "  {:>8} {:>9.2} {:>9.2} {:>9.4} {:>6.1}% {:>12.0}",
+                record.design,
+                stats.p50.value(),
+                stats.p99.value(),
+                stats.achieved_qps,
+                stats.drop_rate * 100.0,
+                stats.energy_per_query.value(),
+            );
+        }
+        // The Pareto view: normalized performance vs energy against the
+        // all-Beefy reference design.
+        for record in &series.records {
+            let point = record.normalized.expect("experiment normalizes records");
+            println!("  {:>8}: {point}", record.design);
+        }
+    }
+    Ok(())
+}
