@@ -12,6 +12,12 @@
 //! [`JsonValue::as_f64`], …) then lift trees back into
 //! [`RunRecord`](crate::RunRecord) series — see
 //! [`ExperimentReport::read_json`](crate::ExperimentReport::read_json).
+//!
+//! Panic policy: every *reader* path returns `Err` on malformed input —
+//! missing fields, wrong shapes, bad escapes, non-finite numbers — never
+//! panics; the only panics in this module are the two writer-side builder
+//! guards ([`JsonValue::set`] / [`JsonValue::push`] on the wrong variant),
+//! which are waived programming-error assertions, not data errors.
 
 use crate::error::CoreError;
 use std::fmt::Write as _;
@@ -49,6 +55,7 @@ impl JsonValue {
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
         match self {
             JsonValue::Object(fields) => fields.push((key.into(), value.into())),
+            // lint:allow(panic-policy): builder misuse is a programming error in the serializer, not a data error — reader paths return Err
             other => panic!("set() on non-object JSON value {other:?}"),
         }
         self
@@ -58,6 +65,7 @@ impl JsonValue {
     pub fn push(&mut self, value: impl Into<JsonValue>) -> &mut Self {
         match self {
             JsonValue::Array(items) => items.push(value.into()),
+            // lint:allow(panic-policy): builder misuse is a programming error in the serializer, not a data error — reader paths return Err
             other => panic!("push() on non-array JSON value {other:?}"),
         }
         self
@@ -256,7 +264,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), CoreError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), CoreError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -308,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, CoreError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let rest = &self.src[self.pos..];
@@ -380,7 +388,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<JsonValue, CoreError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -403,7 +411,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue, CoreError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -414,7 +422,7 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             let key = self.string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.value()?;
             fields.push((key, value));

@@ -199,10 +199,7 @@ impl Scheduler for EnergyAwareScheduler {
             .min_by(|&a, &b| {
                 let ea = servers[a].profiles[template].expect("filtered").energy;
                 let eb = servers[b].profiles[template].expect("filtered").energy;
-                ea.value()
-                    .partial_cmp(&eb.value())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
+                ea.value().total_cmp(&eb.value()).then(a.cmp(&b))
             })
     }
 }
@@ -566,7 +563,7 @@ pub fn simulate_serving(
     debug_assert!(engine.queue.is_empty(), "run ended with queued queries");
     let makespan = sim.time().max(config.duration.value());
     let mut latencies = engine.latencies;
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    latencies.sort_by(f64::total_cmp);
 
     let server_energy: Vec<Joules> = (0..servers.len())
         .map(|s| {

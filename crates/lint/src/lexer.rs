@@ -1,0 +1,470 @@
+//! A hand-rolled Rust lexer — the foundation the rule engine matches on.
+//!
+//! The build environment has no registry access, so `syn` is not an option;
+//! and regexes over raw source text misfire on exactly the constructs Rust
+//! is rich in: `"a // url"` is a string, not a comment; `'a` is a lifetime
+//! while `'a'` is a char; `r#"…"#` swallows quotes; `/* /* */ */` nests.
+//! This lexer resolves all of those into a flat [`Token`] stream with line
+//! numbers, which is the *right* level for the policy rules in
+//! [`rules`](crate::rules): identifier-accurate (no substring matches) and
+//! immune to occurrences inside strings, comments, or doc text.
+//!
+//! The lexer is deliberately lossy where lint rules do not care: compound
+//! operators arrive as single-character [`TokenKind::Punct`] tokens, numeric
+//! literals are not validated, and a malformed file never makes the lexer
+//! fail — it produces a best-effort stream so the lint can still report on
+//! the rest of the file.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\u{8}'`, `b'"'`).
+    CharLit,
+    /// Any string literal: cooked, raw, byte, or C (`"…"`, `r#"…"#`, `b"…"`).
+    StrLit,
+    /// A numeric literal (`42`, `0x1F`, `1.5e3` — possibly split at signs).
+    NumLit,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// A `//` comment, including doc comments (`///`, `//!`); text kept.
+    LineComment,
+    /// A `/* … */` comment (nesting handled); text kept, may span lines.
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's source text, verbatim (comments keep their `//` / `/*`).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is a punctuation character equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The 1-based line the token *ends* on (differs from [`Token::line`]
+    /// only for multi-line tokens: block comments, raw/multi-line strings).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.matches('\n').count() as u32
+    }
+}
+
+/// Lex Rust source into a flat token stream. Never fails: unterminated
+/// constructs are closed at end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking line numbers.
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.pos).copied() {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+            out.push(c);
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                let mut sink = String::new();
+                self.bump(&mut sink);
+                continue;
+            }
+            let line = self.line;
+            let (kind, text) = self.token(c);
+            tokens.push(Token { kind, text, line });
+        }
+        tokens
+    }
+
+    fn token(&mut self, c: char) -> (TokenKind, String) {
+        let mut text = String::new();
+        if c == '/' && self.peek(1) == Some('/') {
+            while matches!(self.peek(0), Some(ch) if ch != '\n') {
+                self.bump(&mut text);
+            }
+            return (TokenKind::LineComment, text);
+        }
+        if c == '/' && self.peek(1) == Some('*') {
+            self.block_comment(&mut text);
+            return (TokenKind::BlockComment, text);
+        }
+        if c == '"' {
+            self.cooked_string(&mut text);
+            return (TokenKind::StrLit, text);
+        }
+        if c == '\'' {
+            return self.lifetime_or_char();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+        if c.is_ascii_digit() {
+            self.number(&mut text);
+            return (TokenKind::NumLit, text);
+        }
+        self.bump(&mut text);
+        (TokenKind::Punct, text)
+    }
+
+    /// `/* … */` with nesting; unterminated comments close at end of input.
+    fn block_comment(&mut self, text: &mut String) {
+        self.bump(text); // '/'
+        self.bump(text); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(text);
+                self.bump(text);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump(text);
+                self.bump(text);
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// `"…"` with `\"` / `\\` escapes; literal newlines are legal inside.
+    fn cooked_string(&mut self, text: &mut String) {
+        self.bump(text); // opening '"'
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('\\') => {
+                    self.bump(text);
+                    self.bump(text);
+                }
+                Some('"') => {
+                    self.bump(text);
+                    return;
+                }
+                Some(_) => self.bump(text),
+            }
+        }
+    }
+
+    /// After a `'`: decide lifetime vs char literal.
+    ///
+    /// `'\…'` is always a char; `'x'` (closing quote two ahead) is a char —
+    /// this is what keeps `'a'` a literal while `<'a>` stays a lifetime;
+    /// otherwise an identifier start begins a lifetime (`'static`, `'_`).
+    fn lifetime_or_char(&mut self) -> (TokenKind, String) {
+        let mut text = String::new();
+        match self.peek(1) {
+            Some('\\') => {
+                self.char_literal(&mut text);
+                (TokenKind::CharLit, text)
+            }
+            Some(_) if self.peek(2) == Some('\'') => {
+                self.char_literal(&mut text);
+                (TokenKind::CharLit, text)
+            }
+            Some(n) if is_ident_start(n) => {
+                self.bump(&mut text); // '\''
+                while matches!(self.peek(0), Some(ch) if is_ident_continue(ch)) {
+                    self.bump(&mut text);
+                }
+                (TokenKind::Lifetime, text)
+            }
+            _ => {
+                self.bump(&mut text);
+                (TokenKind::Punct, text)
+            }
+        }
+    }
+
+    /// `'…'` body after the decision is made: escapes skip two chars, the
+    /// next bare `'` closes.
+    fn char_literal(&mut self, text: &mut String) {
+        self.bump(text); // opening '\''
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('\\') => {
+                    self.bump(text);
+                    self.bump(text);
+                }
+                Some('\'') => {
+                    self.bump(text);
+                    return;
+                }
+                Some(_) => self.bump(text),
+            }
+        }
+    }
+
+    /// An identifier — unless it is one of Rust's literal prefixes (`r`,
+    /// `b`, `br`, `c`, `cr`) immediately followed by the literal it opens.
+    fn ident_or_prefixed_literal(&mut self) -> (TokenKind, String) {
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(ch) if is_ident_continue(ch)) {
+            self.bump(&mut text);
+        }
+        match text.as_str() {
+            // Byte-char literal: b'"' — must not be read as ident + lifetime.
+            "b" if self.peek(0) == Some('\'') => {
+                self.char_literal(&mut text);
+                (TokenKind::CharLit, text)
+            }
+            // Cooked byte / C strings share the escape rules of `"…"`.
+            "b" | "c" if self.peek(0) == Some('"') => {
+                self.cooked_string(&mut text);
+                (TokenKind::StrLit, text)
+            }
+            "r" | "br" | "cr" if self.raw_string_follows() => {
+                self.raw_string(&mut text);
+                (TokenKind::StrLit, text)
+            }
+            // Plain identifier. (`r#ident` raw identifiers fall out here as
+            // Ident("r") + Punct('#') + Ident — fine for rule matching.)
+            _ => (TokenKind::Ident, text),
+        }
+    }
+
+    /// Lookahead only: `#`* followed by `"` means a raw string starts here.
+    fn raw_string_follows(&self) -> bool {
+        let mut ahead = 0;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    /// `r#…#"…"#…#`: no escapes; closes at `"` followed by the same number
+    /// of `#` as the opener.
+    fn raw_string(&mut self, text: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump(text);
+            hashes += 1;
+        }
+        self.bump(text); // opening '"'
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('"') if (1..=hashes).all(|i| self.peek(i) == Some('#')) => {
+                    for _ in 0..=hashes {
+                        self.bump(text);
+                    }
+                    return;
+                }
+                Some(_) => self.bump(text),
+            }
+        }
+    }
+
+    /// Numbers: digits, `_`, hex/suffix letters; `.` only when a digit
+    /// follows, so ranges (`0..10`) and method calls (`1.max(2)`) stay
+    /// separate tokens. `1e-5` splits at the sign — harmless for linting.
+    fn number(&mut self, text: &mut String) {
+        self.bump(text);
+        loop {
+            match self.peek(0) {
+                Some(ch) if ch.is_ascii_alphanumeric() || ch == '_' => self.bump(text),
+                Some('.') if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) => {
+                    self.bump(text)
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream_with_lines() {
+        let toks = lex("let x = 1;\nfoo.bar()");
+        assert_eq!(toks[0].text, "let");
+        assert_eq!(toks[0].line, 1);
+        let foo = toks.iter().find(|t| t.text == "foo").unwrap();
+        assert_eq!(foo.line, 2);
+        assert_eq!(foo.kind, TokenKind::Ident);
+    }
+
+    #[test]
+    fn comment_inside_string_is_not_a_comment() {
+        let toks = kinds(r#"let url = "https://example.com"; // real comment"#);
+        let strings: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::StrLit).collect();
+        assert_eq!(strings.len(), 1);
+        assert!(strings[0].1.contains("//"));
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::LineComment)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].1, "// real comment");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r####"let j = r#"{"k": "v // not a comment"}"# ; x"####);
+        let s = toks.iter().find(|t| t.0 == TokenKind::StrLit).unwrap();
+        assert!(s.1.starts_with("r#\""));
+        assert!(s.1.ends_with("\"#"));
+        // The trailing identifier survives — the raw string closed correctly.
+        assert_eq!(
+            idents(r####"let j = r#"{"k": "v"}"# ; x"####),
+            ["let", "j", "x"]
+        );
+        // Multi-hash raw strings only close on the matching hash count.
+        let toks = kinds("r##\"inner \"# still inside\"## after");
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert!(toks[0].1.contains("still inside"));
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        let toks = kinds(r##"b"bytes" c"cstr" br#"raw bytes"# unwrap"##);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[1].0, TokenKind::StrLit);
+        assert_eq!(toks[2].0, TokenKind::StrLit);
+        assert_eq!(toks[3], (TokenKind::Ident, "unwrap".to_string()));
+    }
+
+    #[test]
+    fn byte_char_with_quote_does_not_derail() {
+        // b'"' then b' ' — the embedded quote and space must stay inside the
+        // char literals, or everything after would be mis-lexed as a string.
+        let toks = kinds(r#"m(b'"', b' ', b'\t'); after"#);
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::CharLit).collect();
+        assert_eq!(chars.len(), 3);
+        assert!(toks.iter().any(|t| t.1 == "after"));
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::StrLit));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a str, l: 'outer) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Lifetime)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer"]);
+        assert!(toks.contains(&(TokenKind::CharLit, "'x'".to_string())));
+        // Escaped char literals, including multi-char escapes.
+        let toks = kinds(r"'\u{8}' '\n' '\'' '\\' '_' '_,");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::CharLit)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(chars, [r"'\u{8}'", r"'\n'", r"'\''", r"'\\'", "'_'"]);
+        // `'_` before a comma is the anonymous lifetime, not a char.
+        assert!(toks.contains(&(TokenKind::Lifetime, "'_".to_string())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("before /* outer /* inner */ still comment */ after");
+        assert_eq!(toks[0], (TokenKind::Ident, "before".to_string()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn multi_line_tokens_track_end_line() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line(), 3);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(idents("for i in 0..10 { v.push(1.5); 1.max(2) }").len(), 6);
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokenKind::NumLit, "0".to_string()));
+        assert_eq!(toks[1].0, TokenKind::Punct);
+        assert_eq!(toks[2].0, TokenKind::Punct);
+        assert_eq!(toks[3], (TokenKind::NumLit, "10".to_string()));
+        let toks = kinds("1.5e3 0x1F 1_000");
+        assert!(toks.iter().all(|t| t.0 == TokenKind::NumLit));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        for src in ["\"open", "/* open", "r#\"open", "'\\", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn path_tokens_split_into_punct_pairs() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(toks[0], (TokenKind::Ident, "Instant".to_string()));
+        assert!(toks[1].0 == TokenKind::Punct && toks[1].1 == ":");
+        assert!(toks[2].0 == TokenKind::Punct && toks[2].1 == ":");
+        assert_eq!(toks[3], (TokenKind::Ident, "now".to_string()));
+    }
+}

@@ -43,6 +43,7 @@ pub const MAX_RADIX_BITS: u8 = 12;
 /// behaviour back set `threads: 2` explicitly instead of relying on the
 /// default.
 pub fn default_worker_threads() -> usize {
+    // lint:allow(determinism): the thread-count *default* is deliberately machine-sized; join results are thread-count invariant (pinned by kernel_properties.rs)
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

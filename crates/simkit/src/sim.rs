@@ -85,12 +85,15 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Times are validated finite on entry, so partial_cmp cannot fail;
-        // seq is unique, making the order total and deterministic.
+        // `total_cmp` keeps the order total even if a NaN ever slipped past
+        // entry validation (a NaN-poisoned heap silently corrupts pop order
+        // under `partial_cmp` + fallback); seq is unique, making the order
+        // deterministic. Times are finite, so -0.0/+0.0 is the only pair
+        // total_cmp splits that `==` does not — both sort before every
+        // positive time, and seq still breaks exact ties FIFO.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -340,6 +343,30 @@ mod tests {
         };
         assert_eq!(draws(7), draws(7));
         assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn total_cmp_heap_pops_in_stable_time_seq_order() {
+        // The event-queue comparator moved from a `partial_cmp` +
+        // `unwrap_or(Equal)` chain to `f64::total_cmp`; for finite inputs
+        // the pop order must be unchanged — nondecreasing time, FIFO seq at
+        // equal times — i.e. exactly the stable sort of the schedule.
+        let mut sim: Simulation<usize> = Simulation::new(99);
+        let mut times = Vec::new();
+        for i in 0..512 {
+            // Seeded draws, quantized so exact duplicate times occur often.
+            let t = (sim.sample_unit() * 32.0).floor() / 8.0;
+            times.push(t);
+            sim.schedule_at(t, i).unwrap();
+        }
+        let mut expected: Vec<(f64, usize)> = times.iter().copied().zip(0..times.len()).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0)); // sort_by is stable
+        let mut popped = Vec::new();
+        while let Some(event) = sim.step() {
+            popped.push((event.time, event.seq as usize));
+            assert_eq!(event.payload, event.seq as usize);
+        }
+        assert_eq!(popped, expected);
     }
 
     #[test]
