@@ -130,7 +130,8 @@ fn main() {
 
     // ---- The serving Pareto sweep: the same open-loop query stream offered
     // to three designs, each point a (tail latency, energy per query)
-    // trade-off under energy-aware Beefy-vs-Wimpy placement.
+    // trade-off under energy-aware Beefy-vs-Wimpy placement and under
+    // join-shortest-queue balancing.
     println!();
     println!("== Serving: latency vs energy-per-query across designs ==");
     let mut template = workload;
@@ -151,22 +152,27 @@ fn main() {
             Experiment::new(&serving)
                 .designs(serving_designs)
                 .estimator(Serving::energy_aware())
+                .estimator(Serving::jsq())
                 .run()
         })
         .and_then(|r| r);
     match serving_result {
         Ok(report) => {
-            for record in &report.series[0].records {
-                let stats = record.serving.as_ref().expect("serving lens fills stats");
-                println!(
-                    "  {:>7}: p50 {:6.2} s, p99 {:6.2} s, {:.4} qps, {:5.1}% lost, {:6.0} J/query",
-                    record.design,
-                    stats.p50.value(),
-                    stats.p99.value(),
-                    stats.achieved_qps,
-                    stats.drop_rate * 100.0,
-                    stats.energy_per_query.value(),
-                );
+            for series in &report.series {
+                println!("  [{}]", series.estimator);
+                for record in &series.records {
+                    let stats = record.serving.as_ref().expect("serving lens fills stats");
+                    println!(
+                        "  {:>7}: p50 {:6.2} s, p99 {:6.2} s, {:.4} qps, {:5.1}% lost, depth {:4.2}, {:6.0} J/query",
+                        record.design,
+                        stats.p50.value(),
+                        stats.p99.value(),
+                        stats.achieved_qps,
+                        stats.drop_rate * 100.0,
+                        stats.pool_mean_depth.iter().sum::<f64>(),
+                        stats.energy_per_query.value(),
+                    );
+                }
             }
             let path = out_dir.join("serving_pareto.json");
             match report.write_json(&path) {

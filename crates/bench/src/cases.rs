@@ -20,8 +20,8 @@ use eedc_core::{
     Traced, Workload,
 };
 use eedc_dbmsim::{
-    simulate_serving, EngineBehaviour, FcfsScheduler, RestartPolicy, ServiceProfile, ServingConfig,
-    ServingServer,
+    simulate_serving, ArrivalProcess, EngineBehaviour, FcfsScheduler, JoinShortestQueue,
+    RestartPolicy, ServiceProfile, ServingConfig, ServingServer,
 };
 use eedc_netsim::{shuffle_flows, Fabric, TransferSimulator};
 use eedc_pstore::microbench::{single_node_hash_join, MicrobenchOptions};
@@ -303,14 +303,14 @@ pub fn register_serving(suite: &mut BenchSuite) {
     // heap event, so this times the kernel's hot loop.
     suite.register(
         BenchCase::new("serving/open_loop_12k_arrivals", || {
-            let server = ServingServer {
-                label: "node".into(),
-                idle_power: Watts(100.0),
-                profiles: vec![Some(ServiceProfile {
+            let server = ServingServer::new(
+                "node",
+                Watts(100.0),
+                vec![Some(ServiceProfile {
                     time: Seconds(0.4),
                     energy: Joules(50.0),
                 })],
-            };
+            );
             let config = ServingConfig::new(2.0, Seconds(6_000.0), 99).exponential_service();
             let result = simulate_serving(&[server], &config, &mut FcfsScheduler)
                 .expect("serving run is valid");
@@ -396,6 +396,95 @@ pub fn register_serving(suite: &mut BenchSuite) {
         .warmup(1)
         .iterations(5),
     );
+
+    // Join-shortest-queue over 8 single-slot pools at 90% load, ~12k
+    // arrivals: every placement scans all pool depths, so this times the
+    // queue-feedback path of the scheduler seam.
+    suite.register(
+        BenchCase::new("serving/jsq_8_pools_12k_arrivals", || {
+            let profile = Some(ServiceProfile {
+                time: Seconds(1.0),
+                energy: Joules(50.0),
+            });
+            let servers: Vec<ServingServer> = (0..8)
+                .map(|i| ServingServer::new(format!("node{i}"), Watts(100.0), vec![profile]))
+                .collect();
+            let config = ServingConfig::new(7.2, Seconds(1_700.0), 4_242)
+                .queue_capacity(usize::MAX)
+                .exponential_service();
+            let result = simulate_serving(&servers, &config, &mut JoinShortestQueue)
+                // lint:allow(panic-policy): bench case must abort on an invalid run
+                .expect("serving run is valid");
+            assert!(result.arrivals >= 12_000, "got {}", result.arrivals);
+            assert_eq!(result.completed, result.arrivals);
+            assert_eq!(result.scheduler, "jsq");
+        })
+        .warmup(1)
+        .iterations(5),
+    );
+
+    // A processor-sharing pool at 80% load: every start and completion
+    // re-advances the in-flight set and re-arms the horizon event, so this
+    // times the sharing engine rather than the dedicated-slot path.
+    suite.register(
+        BenchCase::new("serving/processor_sharing_pool", || {
+            let server = ServingServer::new(
+                "ps-pool",
+                Watts(100.0),
+                vec![Some(ServiceProfile {
+                    time: Seconds(1.0),
+                    energy: Joules(50.0),
+                })],
+            )
+            .concurrency_limit(4_096)
+            .processor_sharing();
+            let config = ServingConfig::new(0.8, Seconds(10_000.0), 77)
+                .queue_capacity(usize::MAX)
+                .exponential_service();
+            let result = simulate_serving(&[server], &config, &mut FcfsScheduler)
+                // lint:allow(panic-policy): bench case must abort on an invalid run
+                .expect("serving run is valid");
+            assert!(result.arrivals >= 7_000, "got {}", result.arrivals);
+            assert_eq!(result.completed, result.arrivals);
+            // M/M/1-PS mean sojourn 1/(μ−λ) = 5 s, loosely pinned so a
+            // broken sharing engine fails the suite inside the timed loop.
+            let sojourn = result.mean_latency().value();
+            assert!((sojourn - 5.0).abs() < 1.0, "mean sojourn {sojourn}");
+        })
+        .warmup(1)
+        .iterations(5),
+    );
+
+    // Trace replay: a pre-built bursty arrival trace (pairs landing
+    // together every 250 ms) driven through the trace cursor instead of
+    // the Poisson sampler.
+    let trace: Vec<Seconds> = (0..10_000)
+        .map(|i| Seconds((i / 2) as f64 * 0.25 + (i % 2) as f64 * 0.001))
+        .collect();
+    suite.register(
+        BenchCase::new("serving/trace_replay_10k_arrivals", move || {
+            let server = ServingServer::new(
+                "node",
+                Watts(100.0),
+                vec![Some(ServiceProfile {
+                    time: Seconds(0.1),
+                    energy: Joules(50.0),
+                })],
+            )
+            .concurrency_limit(2);
+            let config = ServingConfig::new(1.0, Seconds(1_300.0), 99)
+                .arrival(ArrivalProcess::Trace(trace.clone()))
+                .queue_capacity(usize::MAX);
+            let result = simulate_serving(&[server], &config, &mut FcfsScheduler)
+                // lint:allow(panic-policy): bench case must abort on an invalid run
+                .expect("serving run is valid");
+            assert_eq!(result.arrivals, 10_000);
+            assert_eq!(result.completed, 10_000);
+            assert_eq!(result.arrival, "trace");
+        })
+        .warmup(1)
+        .iterations(5),
+    );
 }
 
 #[cfg(test)]
@@ -411,8 +500,8 @@ mod tests {
         let names = suite.case_names();
         // 3 join strategies + 1 concurrency sweep + 5 Table 2 machines +
         // 3 substrates + 3 advisor grids + vertica + engine comparison +
-        // 3 serving cases.
-        assert_eq!(names.len(), 20);
+        // 6 serving cases.
+        assert_eq!(names.len(), 23);
         for group in [
             "pstore_joins/",
             "model_and_sweeps/",

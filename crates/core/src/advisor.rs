@@ -22,6 +22,7 @@ use crate::workload::{Workload, WorkloadPlan};
 use eedc_pstore::stats::ExecutionMode;
 use eedc_pstore::{ClusterSpec, JoinStrategy};
 use eedc_simkit::metrics::{NormalizedPoint, NormalizedSeries};
+use eedc_simkit::units::Seconds;
 use eedc_simkit::NodeSpec;
 use std::fmt;
 
@@ -160,6 +161,29 @@ impl DesignSpaceReport {
             .map(|(_, p)| p)
     }
 
+    /// The SLA selection rule for serving sweeps: among feasible designs
+    /// whose simulated 99th-percentile latency is at most `floor`, the one
+    /// with the lowest absolute energy. `None` when no design's p99 clears
+    /// the floor; an error when the records carry no serving statistics
+    /// (the report was not evaluated under the `Serving` lens).
+    pub fn cheapest_meeting_p99(&self, floor: Seconds) -> Result<Option<&RunRecord>, CoreError> {
+        if self.records.iter().all(|r| r.serving.is_none()) {
+            return Err(CoreError::invalid(
+                "cheapest_meeting_p99 needs serving statistics — evaluate under the Serving lens",
+            ));
+        }
+        Ok(self
+            .records
+            .iter()
+            .filter(|record| {
+                record
+                    .serving
+                    .as_ref()
+                    .is_some_and(|stats| stats.p99 <= floor)
+            })
+            .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value())))
+    }
+
     /// The Section 6 selection rule: among feasible designs whose normalized
     /// performance is at least `min_performance`, the one with the lowest
     /// normalized energy.
@@ -234,6 +258,45 @@ impl DesignAdvisor {
             records: series.records,
             infeasible: series.infeasible,
         })
+    }
+
+    /// Evaluate an explicit list of candidate designs (the first is the
+    /// normalization reference) instead of a full `(b, w)` grid — the shape
+    /// serving sweeps use, where a handful of named designs compete under
+    /// an SLA.
+    pub fn evaluate_designs(
+        &self,
+        designs: &[ClusterSpec],
+    ) -> Result<DesignSpaceReport, CoreError> {
+        let plan = self
+            .plans
+            .first()
+            .ok_or_else(|| CoreError::invalid("the advisor's workload yields no plans"))?;
+        if designs.is_empty() {
+            return Err(CoreError::invalid(
+                "evaluate_designs needs at least one design",
+            ));
+        }
+        let series = crate::experiment::evaluate_series(self.estimator.as_ref(), plan, designs)?;
+        Ok(DesignSpaceReport {
+            series: series.normalized,
+            records: series.records,
+            infeasible: series.infeasible,
+        })
+    }
+
+    /// The SLA objective for serving sweeps: evaluate the candidate designs
+    /// under the advisor's estimator (which must be a `Serving` lens so the
+    /// records carry p99 latencies) and return the lowest-energy design
+    /// whose simulated 99th-percentile latency clears `floor`. `None` when
+    /// no design meets the SLA.
+    pub fn cheapest_meeting_p99(
+        &self,
+        designs: &[ClusterSpec],
+        floor: Seconds,
+    ) -> Result<Option<RunRecord>, CoreError> {
+        let report = self.evaluate_designs(designs)?;
+        Ok(report.cheapest_meeting_p99(floor)?.cloned())
     }
 
     /// Evaluate `space` and apply the Section 6 selection rule for
@@ -364,6 +427,81 @@ mod tests {
         let space = DesignSpace::new(cluster_v_node(), laptop_b(), 2, 2).unwrap();
         let err = adv.evaluate(&space).unwrap_err();
         assert!(err.to_string().contains("no plans"), "{err}");
+    }
+
+    #[test]
+    fn cheapest_meeting_p99_picks_the_lowest_energy_design_that_clears_the_floor() {
+        use crate::experiment::{Analytical, Serving};
+        use crate::workload::ServingWorkload;
+        use eedc_pstore::JoinQuerySpec;
+
+        // The acceptance sweep: three homogeneous designs under the Serving
+        // lens. Smaller clusters serve slower (longer p99) but burn less
+        // energy over the window, so an SLA floor slices the sweep.
+        let sweep = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        let designs: Vec<ClusterSpec> = [16, 8, 4]
+            .map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).unwrap())
+            .to_vec();
+        let slowest = Analytical
+            .estimate(&sweep.plans()[0], &designs[2])
+            .unwrap()
+            .response_time
+            .value();
+        let workload = ServingWorkload::new(&sweep, 0.2 / slowest, Seconds(500.0 * slowest), 2_024);
+        let advisor = DesignAdvisor::new(Serving::fcfs(), &workload);
+        let report = advisor.evaluate_designs(&designs).unwrap();
+        assert_eq!(report.records.len(), 3);
+        let p99s: Vec<f64> = report
+            .records
+            .iter()
+            .map(|r| r.serving.as_ref().unwrap().p99.value())
+            .collect();
+        assert!(
+            p99s[0] < p99s[1] && p99s[1] < p99s[2],
+            "p99 must grow as the design shrinks: {p99s:?}"
+        );
+
+        // A floor between the 8-node and 4-node tails: the 4-node design is
+        // cheapest but misses the SLA, so the pick must clear the floor and
+        // be the cheapest among the qualifiers.
+        let floor = Seconds((p99s[1] + p99s[2]) / 2.0);
+        let pick = report
+            .cheapest_meeting_p99(floor)
+            .unwrap()
+            .expect("two designs clear this floor");
+        let pick_stats = pick.serving.as_ref().unwrap();
+        assert!(
+            pick_stats.p99 <= floor,
+            "pick p99 {:?} above the floor {floor:?}",
+            pick_stats.p99
+        );
+        for record in &report.records {
+            if record.serving.as_ref().unwrap().p99 <= floor {
+                assert!(
+                    pick.energy <= record.energy,
+                    "{} beats the pick on energy",
+                    record.design
+                );
+            }
+        }
+        // The one-call advisor objective agrees with the report method.
+        let direct = advisor
+            .cheapest_meeting_p99(&designs, floor)
+            .unwrap()
+            .unwrap();
+        assert_eq!(direct.design, pick.design);
+
+        // An unreachable floor yields no design; a non-serving estimator is
+        // a caller error, not an empty answer.
+        assert!(report
+            .cheapest_meeting_p99(Seconds(1e-9))
+            .unwrap()
+            .is_none());
+        let plain = DesignAdvisor::new(Analytical, &sweep);
+        let err = plain.cheapest_meeting_p99(&designs, floor).unwrap_err();
+        assert!(err.to_string().contains("Serving"), "{err}");
+        // And an empty design list is rejected up front.
+        assert!(advisor.evaluate_designs(&[]).is_err());
     }
 
     #[test]

@@ -46,8 +46,8 @@ use crate::model::{AnalyticalModel, ModelPrediction, PhasePrediction};
 use crate::workload::{Workload, WorkloadPlan};
 use eedc_dbmsim::{
     busy_share_from_utilization, replay, simulate_serving, BehaviouralModel, BusyShares,
-    EnergyAwareScheduler, EngineBehaviour, FcfsScheduler, ReplayPhase, ServiceProfile,
-    ServingConfig, ServingServer, UtilizationTrace,
+    EnergyAwareScheduler, EngineBehaviour, FcfsScheduler, JoinShortestQueue, PowerOfTwoChoices,
+    ReplayPhase, Scheduler, ServiceProfile, ServingConfig, ServingServer, UtilizationTrace,
 };
 use eedc_pstore::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
 use eedc_pstore::{
@@ -157,7 +157,10 @@ pub struct RunRecord {
 pub struct ServingStats {
     /// Placement policy that scheduled the queries.
     pub scheduler: String,
-    /// Offered load (Poisson arrivals per second).
+    /// Arrival-law name (`"poisson"` / `"trace"` / `"ramp"`). `None` when
+    /// read back from a report written before arrival processes existed.
+    pub arrival: Option<String>,
+    /// Offered load (mean arrivals per second over the window).
     pub offered_qps: f64,
     /// Completions per second over the run.
     pub achieved_qps: f64,
@@ -183,14 +186,26 @@ pub struct ServingStats {
     pub mean_wait: Seconds,
     /// Total run energy (idle power included) per completed query.
     pub energy_per_query: Joules,
+    /// Time-averaged queries in system (waiting + in flight) per pool.
+    /// Empty when read back from a report written before queue-depth
+    /// accounting existed.
+    pub pool_mean_depth: Vec<f64>,
+    /// High-water mark of each pool's own queue (waiting only); empty for
+    /// pre-queue-depth reports.
+    pub pool_max_queued: Vec<usize>,
 }
 
 impl ServingStats {
-    /// Render the stats as a JSON object.
+    /// Render the stats as a JSON object. The PR 9 fields (`arrival`, the
+    /// queue-depth vectors) are emitted only when present, so stats read
+    /// from an older report re-write byte-identically.
     pub fn to_json(&self) -> JsonValue {
         let mut obj = JsonValue::object();
-        obj.set("scheduler", self.scheduler.clone())
-            .set("offered_qps", self.offered_qps)
+        obj.set("scheduler", self.scheduler.clone());
+        if let Some(arrival) = &self.arrival {
+            obj.set("arrival", arrival.clone());
+        }
+        obj.set("offered_qps", self.offered_qps)
             .set("achieved_qps", self.achieved_qps)
             .set("arrivals", self.arrivals)
             .set("completed", self.completed)
@@ -203,14 +218,45 @@ impl ServingStats {
             .set("mean_latency_s", self.mean_latency.value())
             .set("mean_wait_s", self.mean_wait.value())
             .set("energy_per_query_j", self.energy_per_query.value());
+        if !self.pool_mean_depth.is_empty() {
+            obj.set("pool_mean_depth", self.pool_mean_depth.clone());
+        }
+        if !self.pool_max_queued.is_empty() {
+            obj.set("pool_max_queued", self.pool_max_queued.clone());
+        }
         obj
     }
 
     /// Reconstruct the stats from the JSON shape
-    /// [`to_json`](Self::to_json) emits.
+    /// [`to_json`](Self::to_json) emits. Reports written before PR 9 carry
+    /// no `arrival` / queue-depth keys; those read back as `None` / empty
+    /// and re-write with the keys absent — byte-compatible.
     pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        let arrival = match value.get("arrival") {
+            None | Some(JsonValue::Null) => None,
+            Some(kind) => Some(
+                kind.as_str()
+                    .ok_or_else(|| CoreError::invalid("serving 'arrival' is not a string"))?
+                    .to_string(),
+            ),
+        };
+        let f64_array = |key: &str| -> Result<Vec<f64>, CoreError> {
+            match value.get(key) {
+                None | Some(JsonValue::Null) => Ok(Vec::new()),
+                Some(_) => value
+                    .array_field(key)?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64().ok_or_else(|| {
+                            CoreError::invalid(format!("serving '{key}' holds a non-number"))
+                        })
+                    })
+                    .collect(),
+            }
+        };
         Ok(Self {
             scheduler: value.str_field("scheduler")?.to_string(),
+            arrival,
             offered_qps: value.f64_field("offered_qps")?,
             achieved_qps: value.f64_field("achieved_qps")?,
             arrivals: value.usize_field("arrivals")?,
@@ -224,6 +270,11 @@ impl ServingStats {
             mean_latency: Seconds(value.f64_field("mean_latency_s")?),
             mean_wait: Seconds(value.f64_field("mean_wait_s")?),
             energy_per_query: Joules(value.f64_field("energy_per_query_j")?),
+            pool_mean_depth: f64_array("pool_mean_depth")?,
+            pool_max_queued: f64_array("pool_max_queued")?
+                .into_iter()
+                .map(|n| n as usize)
+                .collect(),
         })
     }
 }
@@ -932,8 +983,12 @@ fn record_from_replay_phase(phase: &ReplayPhase) -> PhaseRecord {
 /// ([`Analytical`] by default) evaluated per query template on each node
 /// *pool* of the design: a heterogeneous `(b Beefy, w Wimpy)` design serves
 /// from two pools, and the scheduler's per-query choice between them is the
-/// paper's Beefy-vs-Wimpy placement decision ([`Serving::fcfs`] baseline vs
-/// the [`Serving::energy_aware`] placer). A pool that cannot run a template
+/// paper's Beefy-vs-Wimpy placement decision ([`Serving::fcfs`] baseline,
+/// the [`Serving::energy_aware`] placer, or the queue-feedback
+/// [`Serving::jsq`] / [`Serving::power_of_two`] policies). Pools serve up
+/// to `pool_concurrency` queries at once — dedicated slots re-priced at
+/// that concurrency through the inner estimator, or processor sharing
+/// priced solo. A pool that cannot run a template
 /// (hash table fits no execution mode) is simply never picked for it; a
 /// design where some template fits *no* pool is recorded as infeasible,
 /// like every other lens.
@@ -982,6 +1037,8 @@ pub struct Serving {
 enum ServingPolicy {
     Fcfs,
     EnergyAware,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
 }
 
 impl Serving {
@@ -1003,6 +1060,24 @@ impl Serving {
         }
     }
 
+    /// Join-shortest-queue placement: each query commits to the capable
+    /// pool with the fewest queries in system (waiting + in flight).
+    pub fn jsq() -> Self {
+        Self {
+            inner: Box::new(Analytical),
+            policy: ServingPolicy::JoinShortestQueue,
+        }
+    }
+
+    /// Power-of-two-choices placement: probe two random capable pools (via
+    /// the run's seeded RNG) and commit to the shallower one.
+    pub fn power_of_two() -> Self {
+        Self {
+            inner: Box::new(Analytical),
+            policy: ServingPolicy::PowerOfTwoChoices,
+        }
+    }
+
     /// Replace the inner estimator supplying per-template service costs
     /// (e.g. [`Traced::dbms_x`] to serve under an engine behaviour). The
     /// lens is then named `serving…@<inner>` in reports.
@@ -1013,7 +1088,7 @@ impl Serving {
 
     /// The node pools of a design: Beefy and Wimpy sub-clusters for a
     /// heterogeneous design, the whole design otherwise. Each pool serves
-    /// one query at a time.
+    /// up to the plan's `pool_concurrency` queries at a time.
     fn pools(design: &ClusterSpec) -> Result<Vec<(String, Vec<usize>, ClusterSpec)>, CoreError> {
         let ids_of = |class: NodeClass| -> Vec<usize> {
             design
@@ -1058,6 +1133,8 @@ impl Estimator for Serving {
         let base = match self.policy {
             ServingPolicy::Fcfs => "serving".to_string(),
             ServingPolicy::EnergyAware => "serving:energy-aware".to_string(),
+            ServingPolicy::JoinShortestQueue => "serving:jsq".to_string(),
+            ServingPolicy::PowerOfTwoChoices => "serving:po2".to_string(),
         };
         let inner = self.inner.name();
         if inner == "analytical" {
@@ -1078,18 +1155,36 @@ impl Estimator for Serving {
             return Err(CoreError::invalid("serving needs at least one template"));
         }
 
+        if params.pool_concurrency == 0 {
+            return Err(CoreError::invalid("pool concurrency must be at least 1"));
+        }
+
         // Price every template on every pool through the inner estimator.
         // A pool that refuses a template (Runtime error: the hash table fits
-        // no execution mode there) just cannot serve it.
+        // no execution mode there) just cannot serve it. A dedicated n-way
+        // pool is priced *at* that concurrency — the template re-runs
+        // through the inner estimator with `sweep.concurrency = n` (the
+        // ConcurrencySweep axis), so the per-query time reflects measured/
+        // analytical n-way contention and the batch energy is split per
+        // query. A processor-sharing pool is priced solo: the simulator's
+        // rate-sharing models the contention, and pricing it again here
+        // would double-count.
+        let dedicated_n = if params.processor_sharing {
+            1
+        } else {
+            params.pool_concurrency
+        };
         let mut servers = Vec::new();
         let mut pool_ids = Vec::new();
         for (label, ids, spec) in Self::pools(design)? {
             let mut profiles = Vec::with_capacity(params.templates.len());
             for template in &params.templates {
-                match self.inner.estimate(template, &spec) {
+                let mut priced = template.clone();
+                priced.sweep = priced.sweep.with_concurrency(dedicated_n);
+                match self.inner.estimate(&priced, &spec) {
                     Ok(record) => profiles.push(Some(ServiceProfile {
                         time: record.response_time,
-                        energy: record.energy,
+                        energy: record.energy / dedicated_n as f64,
                     })),
                     Err(CoreError::Runtime(_)) => profiles.push(None),
                     Err(err) => return Err(err),
@@ -1100,11 +1195,12 @@ impl Estimator for Serving {
                     .iter()
                     .map(|&id| design.nodes()[id].idle_power)
                     .sum::<Watts>();
-                servers.push(ServingServer {
-                    label,
-                    idle_power,
-                    profiles,
-                });
+                let mut server = ServingServer::new(label, idle_power, profiles)
+                    .concurrency_limit(params.pool_concurrency);
+                if params.processor_sharing {
+                    server = server.processor_sharing();
+                }
+                servers.push(server);
                 pool_ids.push(ids);
             }
         }
@@ -1119,7 +1215,7 @@ impl Estimator for Serving {
         }
 
         let config = ServingConfig {
-            qps: params.qps,
+            arrival: params.arrival.clone(),
             duration: params.duration,
             template_theta: params.template_theta,
             queue_capacity: params.queue_capacity,
@@ -1127,12 +1223,13 @@ impl Estimator for Serving {
             seed: params.seed,
             service: eedc_dbmsim::ServiceDistribution::Deterministic,
         };
-        let result = match self.policy {
-            ServingPolicy::Fcfs => simulate_serving(&servers, &config, &mut FcfsScheduler),
-            ServingPolicy::EnergyAware => {
-                simulate_serving(&servers, &config, &mut EnergyAwareScheduler)
-            }
-        }?;
+        let mut scheduler: Box<dyn Scheduler> = match self.policy {
+            ServingPolicy::Fcfs => Box::new(FcfsScheduler),
+            ServingPolicy::EnergyAware => Box::new(EnergyAwareScheduler),
+            ServingPolicy::JoinShortestQueue => Box::new(JoinShortestQueue),
+            ServingPolicy::PowerOfTwoChoices => Box::new(PowerOfTwoChoices),
+        };
+        let result = simulate_serving(&servers, &config, scheduler.as_mut())?;
 
         // Per-node shares in cluster node order: each node carries its
         // pool's utilization and an equal split of the pool's energy (pools
@@ -1149,6 +1246,7 @@ impl Estimator for Serving {
 
         let stats = ServingStats {
             scheduler: result.scheduler.clone(),
+            arrival: Some(result.arrival.clone()),
             offered_qps: result.offered_qps,
             achieved_qps: result.achieved_qps(),
             arrivals: result.arrivals,
@@ -1162,6 +1260,8 @@ impl Estimator for Serving {
             mean_latency: result.mean_latency(),
             mean_wait: result.mean_wait,
             energy_per_query: result.energy_per_query(),
+            pool_mean_depth: result.pool_mean_depth.clone(),
+            pool_max_queued: result.pool_max_queued.clone(),
         };
         Ok(RunRecord {
             workload: plan.label.clone(),
@@ -2192,6 +2292,165 @@ mod tests {
             .records()
             .all(|record| record.serving.is_none()));
         assert_eq!(old_restored.to_json_string(), old_json, "byte-compatible");
+    }
+
+    #[test]
+    fn serving_stats_new_keys_round_trip_and_old_stats_stay_byte_compatible() {
+        // New runs emit the PR 9 keys and they round-trip.
+        let workload = ServingWorkload::new(&sweep(), 0.002, Seconds(50_000.0), 31);
+        let report = Experiment::new(&workload)
+            .designs([homogeneous(16)])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let json = report.to_json_string();
+        assert!(json.contains("\"arrival\""), "{json}");
+        assert!(json.contains("\"pool_mean_depth\""));
+        assert!(json.contains("\"pool_max_queued\""));
+        let stats = report.series[0].records[0].serving.as_ref().unwrap();
+        assert_eq!(stats.arrival.as_deref(), Some("poisson"));
+        assert_eq!(stats.pool_mean_depth.len(), 1);
+        assert_eq!(stats.pool_max_queued.len(), 1);
+        let back = ServingStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(&back, stats);
+
+        // A ServingStats written before PR 9 carries none of the new keys;
+        // it parses to None/empty and re-writes byte-identically (the same
+        // contract the PR 7 "serving key omitted" test pins one level up).
+        let mut old = JsonValue::object();
+        old.set("scheduler", "fcfs")
+            .set("offered_qps", 0.5)
+            .set("achieved_qps", 0.5)
+            .set("arrivals", 10usize)
+            .set("completed", 10usize)
+            .set("dropped", 0usize)
+            .set("timed_out", 0usize)
+            .set("drop_rate", 0.0)
+            .set("p50_s", 1.0)
+            .set("p95_s", 2.0)
+            .set("p99_s", 3.0)
+            .set("mean_latency_s", 1.2)
+            .set("mean_wait_s", 0.2)
+            .set("energy_per_query_j", 42.0);
+        let old_json = old.to_json_pretty();
+        let restored = ServingStats::from_json(&old).unwrap();
+        assert_eq!(restored.arrival, None);
+        assert!(restored.pool_mean_depth.is_empty());
+        assert!(restored.pool_max_queued.is_empty());
+        assert_eq!(
+            restored.to_json().to_json_pretty(),
+            old_json,
+            "pre-PR 9 serving stats re-serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn serving_prices_pools_through_the_concurrency_sweep() {
+        // A 4-way dedicated pool is priced at concurrency 4: with
+        // deterministic service and near-zero load, every query's latency is
+        // the *4-way* analytical response time, not the solo one.
+        let design = homogeneous(8);
+        let plan = sweep().plans().remove(0);
+        let solo = Analytical.estimate(&plan, &design).unwrap();
+        let mut four_way = plan.clone();
+        four_way.sweep = four_way.sweep.with_concurrency(4);
+        let batch = Analytical.estimate(&four_way, &design).unwrap();
+        assert!(
+            batch.response_time > solo.response_time,
+            "4 concurrent queries must take longer than one"
+        );
+
+        let window = Seconds(2_000.0 * solo.response_time.value());
+        let qps = 0.05 / solo.response_time.value();
+        let pooled = ServingWorkload::new(&sweep(), qps, window, 7).pool_concurrency(4);
+        let report = Experiment::new(&pooled)
+            .designs([design.clone()])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let record = &report.series[0].records[0];
+        let stats = record.serving.as_ref().unwrap();
+        assert!(stats.completed > 50);
+        assert_eq!(stats.dropped + stats.timed_out, 0);
+        // Light load: nothing queues, so p50 is exactly one service time —
+        // the re-priced 4-way time.
+        assert!(
+            (stats.p50.value() - batch.response_time.value()).abs()
+                < 1e-9 * batch.response_time.value(),
+            "p50 {} vs 4-way response time {}",
+            stats.p50.value(),
+            batch.response_time.value()
+        );
+        // And the per-query energy reflects the batch split: query energy
+        // alone is energy/4 per completion, so total per-query energy stays
+        // below one solo run plus the idle share.
+        assert!(stats.energy_per_query.value() > 0.0);
+
+        // A processor-sharing pool is priced solo: at near-zero load each
+        // query runs alone at the solo rate.
+        let shared = ServingWorkload::new(&sweep(), qps, window, 7)
+            .pool_concurrency(4)
+            .processor_sharing();
+        let report = Experiment::new(&shared)
+            .designs([design])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let ps_stats = report.series[0].records[0].serving.as_ref().unwrap();
+        assert!(
+            (ps_stats.p50.value() - solo.response_time.value()).abs()
+                < 1e-9 * solo.response_time.value(),
+            "PS p50 {} vs solo response time {}",
+            ps_stats.p50.value(),
+            solo.response_time.value()
+        );
+        // Zero pool concurrency is a caller error.
+        let mut bad = pooled.plans().remove(0);
+        bad.serving.as_mut().unwrap().pool_concurrency = 0;
+        assert!(Serving::fcfs().estimate(&bad, &homogeneous(8)).is_err());
+    }
+
+    #[test]
+    fn serving_jsq_and_po2_lenses_run_deterministically() {
+        let mut small = sweep();
+        small.build_bytes = Megabytes(2_000.0);
+        small.probe_bytes = Megabytes(8_000.0);
+        let design = ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 4).unwrap();
+        let solo = Analytical
+            .estimate(
+                &small.plans()[0],
+                &ClusterSpec::homogeneous(laptop_b(), 4).unwrap(),
+            )
+            .unwrap()
+            .response_time
+            .value();
+        let workload =
+            ServingWorkload::new(&small, 0.8 / solo, Seconds(800.0 * solo), 13).queue_capacity(256);
+        let run = || {
+            Experiment::new(&workload)
+                .designs([design.clone()])
+                .estimator(Serving::jsq())
+                .estimator(Serving::power_of_two())
+                .run()
+                .unwrap()
+        };
+        let report = run();
+        let jsq = &report.series[0].records[0];
+        let po2 = &report.series[1].records[0];
+        assert_eq!(jsq.estimator, "serving:jsq");
+        assert_eq!(po2.estimator, "serving:po2");
+        let jsq_stats = jsq.serving.as_ref().unwrap();
+        let po2_stats = po2.serving.as_ref().unwrap();
+        assert_eq!(jsq_stats.scheduler, "jsq");
+        assert_eq!(po2_stats.scheduler, "po2");
+        // Queue-depth accounting covers both pools of the design.
+        assert_eq!(jsq_stats.pool_mean_depth.len(), 2);
+        assert!(jsq_stats.pool_mean_depth.iter().all(|&d| d > 0.0));
+        assert_eq!(po2_stats.pool_max_queued.len(), 2);
+        assert!(jsq_stats.completed > 200);
+        assert!(po2_stats.completed > 200);
+        // The po2 probes draw from the seeded kernel RNG: bit-identical.
+        assert_eq!(report.to_json_string(), run().to_json_string());
     }
 
     #[test]

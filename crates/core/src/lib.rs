@@ -56,6 +56,9 @@ pub use workload::{
     ConcurrencySweep, ProfiledQuery, ServingParams, ServingWorkload, SkewedJoin, Workload,
     WorkloadPlan,
 };
+// The serving arrival law rides inside `ServingParams`; re-export it so
+// callers can build trace/ramp workloads without naming `eedc_dbmsim`.
+pub use eedc_dbmsim::{ArrivalProcess, RampSegment};
 
 pub mod params {
     //! Published parameters of the Section 5.4 model sweeps.

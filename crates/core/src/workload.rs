@@ -19,6 +19,7 @@
 //!   SF-1000 scale-down studies of Figures 1–2.
 
 use crate::model::SweepJoin;
+use eedc_dbmsim::{ArrivalProcess, RampSegment};
 use eedc_pstore::{JoinQuerySpec, JoinSkew, JoinStrategy, RunOptions};
 use eedc_simkit::units::Seconds;
 use eedc_tpch::{QueryId, QueryProfile, ScaleFactor, TpchTable};
@@ -61,12 +62,13 @@ pub struct WorkloadPlan {
 }
 
 /// Open-loop serving parameters a [`ServingWorkload`] attaches to its plans:
-/// the offered load, the arrival window, the template mix, and the admission
-/// queue bounds the `Serving` lens simulates.
+/// the arrival law, the arrival window, the template mix, the pool
+/// concurrency, and the admission queue bounds the `Serving` lens simulates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingParams {
-    /// Offered load: mean Poisson arrivals per second.
-    pub qps: f64,
+    /// The open-loop arrival law: Poisson at a mean rate, a recorded trace
+    /// of arrival instants, or a piecewise-rate diurnal ramp.
+    pub arrival: ArrivalProcess,
     /// Length of the arrival window.
     pub duration: Seconds,
     /// Zipf skew of the template mix (`0.0` is uniform).
@@ -77,9 +79,27 @@ pub struct ServingParams {
     pub max_wait: Option<Seconds>,
     /// RNG seed — same seed, same report, bit for bit.
     pub seed: u64,
+    /// Queries each node pool serves simultaneously; beyond it they queue.
+    /// Dedicated-slot pools are re-priced at this concurrency through the
+    /// inner estimator (the [`ConcurrencySweep`] data), so an n-way pool's
+    /// per-query profile comes from measured/analytical concurrency
+    /// behaviour rather than a guess.
+    pub pool_concurrency: usize,
+    /// Divide each pool's single-query rate across in-flight queries
+    /// (M/M/1-PS) instead of granting dedicated slots (M/M/c). Sharing
+    /// itself models the contention, so profiles are then priced solo.
+    pub processor_sharing: bool,
     /// The query templates arrivals draw from, in Zipf-weight order (the
     /// templates themselves carry no serving parameters).
     pub templates: Vec<WorkloadPlan>,
+}
+
+impl ServingParams {
+    /// Mean offered load over the arrival window (the configured rate for
+    /// Poisson, the realized rate for traces and ramps).
+    pub fn offered_qps(&self) -> f64 {
+        self.arrival.mean_qps(self.duration)
+    }
 }
 
 impl WorkloadPlan {
@@ -344,11 +364,14 @@ pub struct ServingWorkload {
     base_label: String,
     templates: Vec<WorkloadPlan>,
     qps_levels: Vec<f64>,
+    arrival_override: Option<ArrivalProcess>,
     duration: Seconds,
     template_theta: f64,
     queue_capacity: usize,
     max_wait: Option<Seconds>,
     seed: u64,
+    pool_concurrency: usize,
+    processor_sharing: bool,
 }
 
 impl ServingWorkload {
@@ -368,17 +391,54 @@ impl ServingWorkload {
                 })
                 .collect(),
             qps_levels: vec![qps],
+            arrival_override: None,
             duration,
             template_theta: 0.0,
             queue_capacity: 1024,
             max_wait: None,
             seed,
+            pool_concurrency: 1,
+            processor_sharing: false,
         }
     }
 
     /// Replace the single QPS level with a sweep (one plan per level).
     pub fn qps_sweep(mut self, levels: impl IntoIterator<Item = f64>) -> Self {
         self.qps_levels = levels.into_iter().collect();
+        self
+    }
+
+    /// Replay recorded arrival instants instead of drawing Poisson gaps
+    /// (replaces any QPS sweep: a trace fixes the load).
+    pub fn trace_arrivals(mut self, times: impl IntoIterator<Item = Seconds>) -> Self {
+        self.arrival_override = Some(ArrivalProcess::Trace(times.into_iter().collect()));
+        self
+    }
+
+    /// Drive arrivals with a piecewise-constant-rate diurnal ramp given as
+    /// `(segment duration, qps)` pairs (replaces any QPS sweep).
+    pub fn diurnal_ramp(mut self, segments: impl IntoIterator<Item = (Seconds, f64)>) -> Self {
+        self.arrival_override = Some(ArrivalProcess::Ramp(
+            segments
+                .into_iter()
+                .map(|(duration, qps)| RampSegment { duration, qps })
+                .collect(),
+        ));
+        self
+    }
+
+    /// Let each node pool serve `limit` queries at once on dedicated slots;
+    /// the `Serving` lens re-prices its per-query profiles at this
+    /// concurrency through the inner estimator.
+    pub fn pool_concurrency(mut self, limit: usize) -> Self {
+        self.pool_concurrency = limit;
+        self
+    }
+
+    /// Divide each pool's rate across in-flight queries (processor sharing)
+    /// instead of granting dedicated slots.
+    pub fn processor_sharing(mut self) -> Self {
+        self.processor_sharing = true;
         self
     }
 
@@ -422,23 +482,33 @@ impl Workload for ServingWorkload {
             // reports the absence rather than panicking here.
             return Vec::new();
         }
+        let params = |arrival: ArrivalProcess| ServingParams {
+            arrival,
+            duration: self.duration,
+            template_theta: self.template_theta,
+            queue_capacity: self.queue_capacity,
+            max_wait: self.max_wait,
+            seed: self.seed,
+            pool_concurrency: self.pool_concurrency,
+            processor_sharing: self.processor_sharing,
+            templates: self.templates.clone(),
+        };
+        // The plan's own sweep/query/strategy mirror the first template, so
+        // non-serving estimators evaluate a meaningful single query instead
+        // of failing.
+        if let Some(arrival) = &self.arrival_override {
+            // A trace or ramp fixes the load: one plan, labelled by kind.
+            let mut plan = self.templates[0].clone();
+            plan.label = format!("{} @{}", self.label(), arrival.kind());
+            plan.serving = Some(params(arrival.clone()));
+            return vec![plan];
+        }
         self.qps_levels
             .iter()
             .map(|&qps| {
-                // The plan's own sweep/query/strategy mirror the first
-                // template, so non-serving estimators evaluate a meaningful
-                // single query instead of failing.
                 let mut plan = self.templates[0].clone();
                 plan.label = format!("{} @{qps}qps", self.label());
-                plan.serving = Some(ServingParams {
-                    qps,
-                    duration: self.duration,
-                    template_theta: self.template_theta,
-                    queue_capacity: self.queue_capacity,
-                    max_wait: self.max_wait,
-                    seed: self.seed,
-                    templates: self.templates.clone(),
-                });
+                plan.serving = Some(params(ArrivalProcess::Poisson { qps }));
                 plan
             })
             .collect()
@@ -524,12 +594,15 @@ mod tests {
         assert_eq!(plans.len(), 3);
         for (plan, &qps) in plans.iter().zip(serving.levels()) {
             let params = plan.serving.as_ref().expect("serving params ride along");
-            assert_eq!(params.qps, qps);
+            assert_eq!(params.arrival, ArrivalProcess::Poisson { qps });
+            assert_eq!(params.offered_qps(), qps);
             assert_eq!(params.duration, Seconds(600.0));
             assert_eq!(params.template_theta, 1.0);
             assert_eq!(params.queue_capacity, 32);
             assert_eq!(params.max_wait, Some(Seconds(30.0)));
             assert_eq!(params.seed, 7);
+            assert_eq!(params.pool_concurrency, 1, "dedicated single slot");
+            assert!(!params.processor_sharing);
             assert_eq!(params.templates.len(), 3);
             assert!(
                 params.templates.iter().all(|t| t.serving.is_none()),
@@ -541,6 +614,38 @@ mod tests {
         }
         // Ordinary workloads carry no serving parameters.
         assert!(base().plans()[0].serving.is_none());
+    }
+
+    #[test]
+    fn serving_workload_carries_arrival_and_concurrency_options() {
+        let sweep = ConcurrencySweep::paper(base());
+        // A trace replaces the QPS sweep with one fixed-load plan.
+        let traced = ServingWorkload::new(&sweep, 0.5, Seconds(10.0), 7)
+            .qps_sweep([0.25, 0.5])
+            .trace_arrivals([Seconds(1.0), Seconds(2.0), Seconds(4.0)])
+            .pool_concurrency(4);
+        let plans = traced.plans();
+        assert_eq!(plans.len(), 1, "a trace fixes the load");
+        let params = plans[0].serving.as_ref().unwrap();
+        assert_eq!(
+            params.arrival,
+            ArrivalProcess::Trace(vec![Seconds(1.0), Seconds(2.0), Seconds(4.0)])
+        );
+        assert!((params.offered_qps() - 0.3).abs() < 1e-12);
+        assert_eq!(params.pool_concurrency, 4);
+        assert!(plans[0].label.ends_with("@trace"), "{}", plans[0].label);
+
+        // A diurnal ramp builds segments from (duration, qps) pairs.
+        let ramped = ServingWorkload::new(&sweep, 0.5, Seconds(300.0), 7)
+            .diurnal_ramp([(Seconds(100.0), 0.1), (Seconds(200.0), 2.0)])
+            .processor_sharing();
+        let plans = ramped.plans();
+        assert_eq!(plans.len(), 1);
+        let params = plans[0].serving.as_ref().unwrap();
+        assert_eq!(params.arrival.kind(), "ramp");
+        assert!(params.processor_sharing);
+        assert!((params.offered_qps() - 410.0 / 300.0).abs() < 1e-12);
+        assert!(plans[0].label.ends_with("@ramp"), "{}", plans[0].label);
     }
 
     #[test]

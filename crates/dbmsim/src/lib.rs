@@ -21,12 +21,17 @@
 //!   mid-query restarts ([`EngineBehaviour::dbms_x`]), versus the pipelined
 //!   P-store behaviour ([`EngineBehaviour::pstore_like`]).
 //! * [`serving`] — the **discrete-event serving simulator** on the
-//!   `eedc-simkit` event kernel: open-loop Poisson arrivals with a
-//!   Zipf-skewed template mix, a bounded admission queue with drop/timeout
-//!   accounting, and pluggable [`Scheduler`]s (FCFS vs an energy-aware
-//!   Beefy-vs-Wimpy placer). Per-query costs are closed-form inputs; the
+//!   `eedc-simkit` event kernel: open-loop arrivals under a pluggable
+//!   [`ArrivalProcess`] (Poisson, recorded trace, diurnal ramp) with a
+//!   Zipf-skewed template mix, concurrency-limited pools (dedicated M/M/c
+//!   slots or processor sharing), bounded admission queues with
+//!   drop/timeout accounting, and pluggable [`Scheduler`]s (FCFS,
+//!   energy-aware Beefy-vs-Wimpy placement, join-shortest-queue,
+//!   power-of-two-choices). Per-query costs are closed-form inputs; the
 //!   module adds the queueing behaviour — latency percentiles, drops,
-//!   saturation — that backs the fifth estimator lens (`Serving`).
+//!   saturation — that backs the fifth estimator lens (`Serving`), and is
+//!   cross-validated against Erlang-C / M/M/1-PS closed forms in
+//!   `tests/queueing_validation.rs`.
 //!
 //! In `eedc-core` the trace pipeline backs the fourth estimator lens
 //! (`Traced`), next to the measured, analytical and behavioural lenses, so
@@ -74,8 +79,9 @@ pub use engines::{EngineBehaviour, RestartPolicy};
 pub use replay::{replay, ReplayPhase, ReplayResult};
 pub use scaling::{BehaviouralModel, BehaviouralPrediction};
 pub use serving::{
-    simulate_serving, EnergyAwareScheduler, FcfsScheduler, Scheduler, ServiceDistribution,
-    ServiceProfile, ServingConfig, ServingResult, ServingServer,
+    simulate_serving, ArrivalProcess, EnergyAwareScheduler, FcfsScheduler, JoinShortestQueue,
+    PoolView, PowerOfTwoChoices, RampSegment, RandomScheduler, Scheduler, ServiceDistribution,
+    ServiceMode, ServiceProfile, ServingConfig, ServingResult, ServingServer,
 };
 pub use trace::{
     busy_share_from_utilization, utilization_from_busy_share, BusyShares, TracePhase,

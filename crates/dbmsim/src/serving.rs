@@ -3,30 +3,42 @@
 //!
 //! Everything else in this crate (and in the analytical model) evaluates one
 //! query at a time in closed form. This module models a cluster run as a
-//! long-lived **service**: queries arrive as an open-loop Poisson process at
-//! a configured QPS, each arrival draws a query *template* from a
-//! Zipf-skewed mix, a bounded admission queue absorbs bursts (with drop and
-//! timeout accounting), and a [`Scheduler`] places each admitted query on one
-//! of several single-query *servers* (for a heterogeneous design: the Beefy
-//! pool and the Wimpy pool). Per-query service times and energies are
-//! **inputs** ([`ServiceProfile`]) — they come from the existing closed-form
-//! machinery (`eedc-core`'s analytical/traced estimators), not from new
-//! physics; what this layer adds is the queueing behaviour those closed
-//! forms cannot express: latency percentiles, drops, saturation.
+//! long-lived **service**: queries arrive open loop under a configurable
+//! [`ArrivalProcess`] (Poisson, a recorded trace, or a piecewise-rate
+//! diurnal ramp), each arrival draws a query *template* from a Zipf-skewed
+//! mix, a bounded admission queue absorbs bursts (with drop and timeout
+//! accounting), and a [`Scheduler`] places each admitted query on one of
+//! several *pools* (for a heterogeneous design: the Beefy pool and the Wimpy
+//! pool). A pool serves up to [`ServingServer::concurrency_limit`] queries
+//! at once — either on dedicated slots ([`ServiceMode::Dedicated`], the
+//! M/M/c shape) or by dividing its single-query rate across everything in
+//! flight ([`ServiceMode::ProcessorSharing`], the M/M/1-PS shape). Per-query
+//! service times and energies are **inputs** ([`ServiceProfile`]) — they
+//! come from the existing closed-form machinery (`eedc-core`'s
+//! analytical/traced estimators), not from new physics; what this layer adds
+//! is the queueing behaviour those closed forms cannot express: latency
+//! percentiles, drops, saturation.
 //!
 //! Event flow (each hop is one event on the [`Simulation`] kernel):
 //!
 //! ```text
-//! arrival ──▶ admission queue ──▶ scheduler ──▶ service ──▶ completion
-//!    │             │ (bounded)        │ (FCFS /                 │
-//!    └─ schedules  └─ drop / timeout  │  energy-aware)          └─ pops the
-//!       the next      accounting      └─ picks an idle             queue
-//!       arrival                          capable server
+//! arrival ──▶ scheduler ──────────▶ pool ──▶ service ──▶ completion
+//!    │            │ (FCFS / energy- │ queue                  │
+//!    └─ schedules │  aware: free    │ (JSQ / po2 commit      └─ frees a
+//!       the next  │  slots only;    │  here; timeouts and       slot; pulls
+//!       arrival   │  else central   │  the shared bound         the pool
+//!                 ▼  queue)         ▼  apply)                   queue, then
+//!          central queue ───────────────────────────────────▶   the central
+//!          (bounded, drop / timeout accounting)                 queue
 //! ```
 //!
 //! Determinism: every random draw (inter-arrival gaps, template selection,
-//! service-time jitter) comes from the kernel's seeded RNG, so a given
-//! `(servers, config, scheduler)` triple reproduces bit-identically.
+//! service-time jitter, the power-of-two-choices probes) comes from the
+//! kernel's seeded RNG, so a given `(servers, config, scheduler)` triple
+//! reproduces bit-identically. The queueing behaviour is cross-validated
+//! against closed forms — Erlang-C for M/M/c waits, the M/M/1-PS sojourn
+//! insensitivity, po2-beats-random — in
+//! `crates/dbmsim/tests/queueing_validation.rs`.
 
 use eedc_simkit::error::SimError;
 use eedc_simkit::sim::{EventHandler, Simulation};
@@ -43,10 +55,27 @@ pub struct ServiceProfile {
     pub energy: Joules,
 }
 
-/// One logical server: a pool of nodes that serves one query at a time.
+/// How a pool shares its capacity across concurrent queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceMode {
+    /// Up to `concurrency_limit` dedicated slots, each serving one query at
+    /// the profile's full rate — the M/M/c shape. The per-query profile
+    /// should then be priced *at* that concurrency (the `eedc-core` serving
+    /// lens prices an n-way pool from `ConcurrencySweep` data).
+    #[default]
+    Dedicated,
+    /// One shared processor at the single-query profile rate, divided
+    /// equally across everything in flight (up to `concurrency_limit`) —
+    /// the M/M/1-PS shape. Contention is modeled by the sharing itself, so
+    /// profiles should be priced solo.
+    ProcessorSharing,
+}
+
+/// One logical server: a pool of nodes serving up to
+/// [`concurrency_limit`](Self::concurrency_limit) queries at a time.
 ///
 /// For a heterogeneous `(b Beefy, w Wimpy)` design the serving layer builds
-/// two servers — the Beefy pool and the Wimpy pool — so the scheduler's
+/// two pools — the Beefy pool and the Wimpy pool — so the scheduler's
 /// per-query choice *is* the paper's Beefy-vs-Wimpy placement decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingServer {
@@ -57,12 +86,54 @@ pub struct ServingServer {
     /// Per-template cost, indexed by template id; `None` marks a template
     /// this server cannot serve (e.g. the build side overflows its memory).
     pub profiles: Vec<Option<ServiceProfile>>,
+    /// Queries the pool serves simultaneously; beyond it they queue.
+    pub concurrency_limit: usize,
+    /// Dedicated slots or processor sharing across the in-flight set.
+    pub mode: ServiceMode,
 }
 
 impl ServingServer {
+    /// A single-query, dedicated-slot pool (the pre-concurrency default).
+    pub fn new(
+        label: impl Into<String>,
+        idle_power: Watts,
+        profiles: Vec<Option<ServiceProfile>>,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            idle_power,
+            profiles,
+            concurrency_limit: 1,
+            mode: ServiceMode::Dedicated,
+        }
+    }
+
+    /// Serve up to `limit` queries at once (dedicated slots by default).
+    pub fn concurrency_limit(mut self, limit: usize) -> Self {
+        self.concurrency_limit = limit;
+        self
+    }
+
+    /// Divide the pool's single-query rate across in-flight queries instead
+    /// of granting each a dedicated slot.
+    pub fn processor_sharing(mut self) -> Self {
+        self.mode = ServiceMode::ProcessorSharing;
+        self
+    }
+
     /// Whether this server can serve the given template.
     pub fn can_serve(&self, template: usize) -> bool {
         self.profiles.get(template).is_some_and(|p| p.is_some())
+    }
+
+    /// The utilization divisor: parallel service capacity in query-slots
+    /// (a processor-sharing pool is one shared processor, whatever its
+    /// multiprogramming limit).
+    pub fn slots(&self) -> usize {
+        match self.mode {
+            ServiceMode::Dedicated => self.concurrency_limit.max(1),
+            ServiceMode::ProcessorSharing => 1,
+        }
     }
 }
 
@@ -72,22 +143,140 @@ pub enum ServiceDistribution {
     /// Every query of a template takes exactly the profile time (the
     /// closed-form machinery is deterministic, so this is the default).
     Deterministic,
-    /// Exponentially distributed around the profile mean — the M/M/1 law the
-    /// kernel is cross-validated against.
+    /// Exponentially distributed around the profile mean — the M/M/c law
+    /// the kernel is cross-validated against.
     Exponential,
+}
+
+/// One piece of a piecewise-constant-rate arrival ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampSegment {
+    /// How long the segment lasts.
+    pub duration: Seconds,
+    /// Mean Poisson arrival rate over the segment (`0.0` is a quiet spell).
+    pub qps: f64,
+}
+
+/// The open-loop arrival law — the seam that replaces the PR 7 hard-coded
+/// exponential gaps (the `dslab-faas` trace shape).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrivals per second.
+        qps: f64,
+    },
+    /// Replay recorded arrival instants (non-decreasing, from time zero);
+    /// instants at or beyond the arrival window are ignored.
+    Trace(Vec<Seconds>),
+    /// Piecewise-constant Poisson rates — a diurnal ramp. Segments tile the
+    /// window from time zero; arrivals stop at the earlier of the last
+    /// segment and the window.
+    Ramp(Vec<RampSegment>),
+}
+
+impl ArrivalProcess {
+    /// Short name recorded in results (`"poisson"` / `"trace"` / `"ramp"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Trace(_) => "trace",
+            ArrivalProcess::Ramp(_) => "ramp",
+        }
+    }
+
+    /// Mean offered rate over an arrival window (the configured rate for
+    /// Poisson; the realized rate for traces and ramps).
+    pub fn mean_qps(&self, window: Seconds) -> f64 {
+        let window = window.value();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            ArrivalProcess::Poisson { qps } => *qps,
+            ArrivalProcess::Trace(times) => {
+                times.iter().filter(|t| t.value() < window).count() as f64 / window
+            }
+            ArrivalProcess::Ramp(segments) => {
+                let mut start = 0.0;
+                let mut expected = 0.0;
+                for segment in segments {
+                    let end = (start + segment.duration.value()).min(window);
+                    if end > start {
+                        expected += segment.qps * (end - start);
+                    }
+                    start += segment.duration.value();
+                    if start >= window {
+                        break;
+                    }
+                }
+                expected / window
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        match self {
+            ArrivalProcess::Poisson { qps } => {
+                if !qps.is_finite() || *qps <= 0.0 {
+                    return Err(SimError::invalid(format!(
+                        "offered QPS must be positive, got {qps}"
+                    )));
+                }
+            }
+            ArrivalProcess::Trace(times) => {
+                let mut last = 0.0;
+                for time in times {
+                    let t = time.value();
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(SimError::invalid(format!(
+                            "trace arrival instants must be finite and non-negative, got {t}"
+                        )));
+                    }
+                    if t < last {
+                        return Err(SimError::invalid(
+                            "trace arrival instants must be non-decreasing",
+                        ));
+                    }
+                    last = t;
+                }
+            }
+            ArrivalProcess::Ramp(segments) => {
+                if segments.is_empty() {
+                    return Err(SimError::invalid("a ramp needs at least one segment"));
+                }
+                for segment in segments {
+                    let d = segment.duration.value();
+                    if !d.is_finite() || d <= 0.0 {
+                        return Err(SimError::invalid(format!(
+                            "ramp segment durations must be positive, got {d}"
+                        )));
+                    }
+                    if !segment.qps.is_finite() || segment.qps < 0.0 {
+                        return Err(SimError::invalid(format!(
+                            "ramp segment rates must be finite and non-negative, got {}",
+                            segment.qps
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Parameters of one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingConfig {
-    /// Offered load: mean arrivals per second of the Poisson process.
-    pub qps: f64,
+    /// The open-loop arrival law.
+    pub arrival: ArrivalProcess,
     /// Length of the arrival window; completions are drained past it.
     pub duration: Seconds,
     /// Zipf skew of the template mix: template `i` has weight
     /// `(i + 1)^-theta`. `0.0` is a uniform mix.
     pub template_theta: f64,
-    /// Admission-queue bound; arrivals beyond it are dropped.
+    /// Shared waiting-room bound across the central queue and every pool
+    /// queue; arrivals beyond it are dropped.
     pub queue_capacity: usize,
     /// Queued queries waiting longer than this time out (checked lazily at
     /// the next arrival or completion). `None` disables timeouts.
@@ -99,11 +288,11 @@ pub struct ServingConfig {
 }
 
 impl ServingConfig {
-    /// A deterministic-service, uniform-mix configuration with a generous
-    /// (but bounded) admission queue.
+    /// A deterministic-service, uniform-mix, Poisson-arrival configuration
+    /// with a generous (but bounded) admission queue.
     pub fn new(qps: f64, duration: Seconds, seed: u64) -> Self {
         ServingConfig {
-            qps,
+            arrival: ArrivalProcess::Poisson { qps },
             duration,
             template_theta: 0.0,
             queue_capacity: 1024,
@@ -111,6 +300,12 @@ impl ServingConfig {
             seed,
             service: ServiceDistribution::Deterministic,
         }
+    }
+
+    /// Replace the arrival law (trace replay, diurnal ramp).
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
     }
 
     /// Set the Zipf skew of the template mix.
@@ -138,24 +333,48 @@ impl ServingConfig {
     }
 }
 
-/// Placement policy: given an admitted query's template and the currently
-/// idle servers, pick where it runs.
+/// Read-only queue state of one pool at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolView {
+    /// Queries currently being served by the pool.
+    pub in_flight: usize,
+    /// Queries waiting in the pool's own queue.
+    pub queued: usize,
+    /// Service slots currently free (`0` for a full pool).
+    pub free_slots: usize,
+}
+
+impl PoolView {
+    /// Queue depth as feedback schedulers see it: waiting plus in service.
+    pub fn depth(&self) -> usize {
+        self.in_flight + self.queued
+    }
+}
+
+/// Placement policy: given an admitted query's template and the queue state
+/// of every pool, pick where it goes.
 pub trait Scheduler {
     /// Policy name, recorded in results.
     fn name(&self) -> String;
-    /// Choose one of `idle` (indices into `servers`) able to serve
-    /// `template`, or `None` to queue the query. Implementations must be
-    /// deterministic functions of their arguments.
+
+    /// Choose a pool able to serve `template`, or `None` to wait in the
+    /// central queue (the first pool to free a capable slot then takes it,
+    /// oldest first). Returning `Some(pool)` *commits* the query to that
+    /// pool: it starts immediately if a slot is free and joins the pool's
+    /// own queue otherwise. `draw` yields uniform `[0, 1)` variates from
+    /// the run's seeded RNG — the only randomness a policy may use, so
+    /// placements stay a deterministic function of `(seed, arguments)`.
     fn place(
         &mut self,
         template: usize,
-        idle: &[usize],
         servers: &[ServingServer],
+        pools: &[PoolView],
+        draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize>;
 }
 
-/// FCFS baseline: the first idle server (in id order) that can serve the
-/// template.
+/// FCFS baseline: the first pool (in id order) with a free slot that can
+/// serve the template; central queue otherwise.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FcfsScheduler;
 
@@ -167,18 +386,18 @@ impl Scheduler for FcfsScheduler {
     fn place(
         &mut self,
         template: usize,
-        idle: &[usize],
         servers: &[ServingServer],
+        pools: &[PoolView],
+        _draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
-        idle.iter()
-            .copied()
-            .find(|&s| servers[s].can_serve(template))
+        (0..servers.len()).find(|&s| pools[s].free_slots > 0 && servers[s].can_serve(template))
     }
 }
 
-/// Energy-aware placer: among idle servers able to serve the template, pick
-/// the one whose profile costs the fewest joules (ties break to the lower
-/// id). This is the per-query Beefy-vs-Wimpy decision.
+/// Energy-aware placer: among pools with a free slot able to serve the
+/// template, pick the one whose profile costs the fewest joules (ties break
+/// to the lower id); central queue when none is free. This is the per-query
+/// Beefy-vs-Wimpy decision.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EnergyAwareScheduler;
 
@@ -190,18 +409,118 @@ impl Scheduler for EnergyAwareScheduler {
     fn place(
         &mut self,
         template: usize,
-        idle: &[usize],
         servers: &[ServingServer],
+        pools: &[PoolView],
+        _draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
-        idle.iter()
-            .copied()
-            .filter(|&s| servers[s].can_serve(template))
+        (0..servers.len())
+            .filter(|&s| pools[s].free_slots > 0 && servers[s].can_serve(template))
             .min_by(|&a, &b| {
-                let ea = servers[a].profiles[template].expect("filtered").energy;
-                let eb = servers[b].profiles[template].expect("filtered").energy;
-                ea.value().total_cmp(&eb.value()).then(a.cmp(&b))
+                let energy = |s: usize| {
+                    servers[s].profiles[template]
+                        .map(|p| p.energy.value())
+                        .unwrap_or(f64::INFINITY)
+                };
+                energy(a).total_cmp(&energy(b)).then(a.cmp(&b))
             })
     }
+}
+
+/// Join-shortest-queue: commit every arrival to the capable pool with the
+/// fewest queries in system (waiting + in flight; ties break to the lower
+/// id). Never uses the central queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl Scheduler for JoinShortestQueue {
+    fn name(&self) -> String {
+        "jsq".into()
+    }
+
+    fn place(
+        &mut self,
+        template: usize,
+        servers: &[ServingServer],
+        pools: &[PoolView],
+        _draw: &mut dyn FnMut() -> f64,
+    ) -> Option<usize> {
+        (0..servers.len())
+            .filter(|&s| servers[s].can_serve(template))
+            .min_by_key(|&s| (pools[s].depth(), s))
+    }
+}
+
+/// Power-of-two-choices: probe two distinct capable pools chosen uniformly
+/// through the run's seeded RNG and commit to the one with fewer queries in
+/// system (ties break to the lower pool id). The classic
+/// Mitzenmacher/Vvedenskaya result: two random probes buy an exponential
+/// improvement in queue depth over one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerOfTwoChoices;
+
+impl Scheduler for PowerOfTwoChoices {
+    fn name(&self) -> String {
+        "po2".into()
+    }
+
+    fn place(
+        &mut self,
+        template: usize,
+        servers: &[ServingServer],
+        pools: &[PoolView],
+        draw: &mut dyn FnMut() -> f64,
+    ) -> Option<usize> {
+        let capable: Vec<usize> = (0..servers.len())
+            .filter(|&s| servers[s].can_serve(template))
+            .collect();
+        match capable.len() {
+            0 => None,
+            1 => Some(capable[0]),
+            n => {
+                let first = sample_below(draw(), n);
+                let second = (first + 1 + sample_below(draw(), n - 1)) % n;
+                let (a, b) = (capable[first], capable[second]);
+                Some(if (pools[a].depth(), a) <= (pools[b].depth(), b) {
+                    a
+                } else {
+                    b
+                })
+            }
+        }
+    }
+}
+
+/// Uniform random assignment over capable pools — the queue-blind baseline
+/// power-of-two-choices is validated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomScheduler;
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn place(
+        &mut self,
+        template: usize,
+        servers: &[ServingServer],
+        _pools: &[PoolView],
+        draw: &mut dyn FnMut() -> f64,
+    ) -> Option<usize> {
+        let capable: Vec<usize> = (0..servers.len())
+            .filter(|&s| servers[s].can_serve(template))
+            .collect();
+        match capable.len() {
+            0 => None,
+            n => Some(capable[sample_below(draw(), n)]),
+        }
+    }
+}
+
+/// Map a uniform `[0, 1)` variate onto `0..n` (clamped defensively so a
+/// draw of exactly 1.0 from a foreign source cannot index out of bounds).
+fn sample_below(unit: f64, n: usize) -> usize {
+    ((unit * n as f64) as usize).min(n.saturating_sub(1))
 }
 
 /// Aggregated outcome of one serving run.
@@ -209,7 +528,9 @@ impl Scheduler for EnergyAwareScheduler {
 pub struct ServingResult {
     /// Name of the scheduler that placed the queries.
     pub scheduler: String,
-    /// Offered load (arrivals per second).
+    /// Arrival-law name (`"poisson"` / `"trace"` / `"ramp"`).
+    pub arrival: String,
+    /// Mean offered load over the window (arrivals per second).
     pub offered_qps: f64,
     /// Configured arrival window.
     pub window: Seconds,
@@ -220,7 +541,7 @@ pub struct ServingResult {
     pub arrivals: usize,
     /// Queries that completed service.
     pub completed: usize,
-    /// Arrivals rejected because the admission queue was full.
+    /// Arrivals rejected because the shared waiting room was full.
     pub dropped: usize,
     /// Queued queries abandoned after waiting longer than `max_wait`.
     pub timed_out: usize,
@@ -234,24 +555,40 @@ pub struct ServingResult {
     pub query_energy: Joules,
     /// Energy burned idling between queries.
     pub idle_energy: Joules,
-    /// Per-server busy time.
+    /// Per-server busy time: summed per-slot service time for dedicated
+    /// pools, wall-clock non-empty time for processor-sharing pools.
     pub server_busy: Vec<Seconds>,
     /// Per-server total energy (query energy plus that server's idle power
     /// over its idle time). Sums to `energy`.
     pub server_energy: Vec<Joules>,
     /// Per-server completed-query counts.
     pub server_queries: Vec<usize>,
+    /// Per-server parallel capacity in query-slots (the utilization
+    /// divisor): the concurrency limit for dedicated pools, 1 for
+    /// processor-sharing pools.
+    pub server_slots: Vec<usize>,
+    /// Time-averaged queries in system (waiting + in flight) per pool.
+    pub pool_mean_depth: Vec<f64>,
+    /// High-water mark of each pool's own queue (waiting only).
+    pub pool_max_queued: Vec<usize>,
+    /// Time-averaged central-queue length.
+    pub central_mean_depth: f64,
     /// Per-template completed-query counts.
     pub template_completed: Vec<usize>,
 }
 
 impl ServingResult {
-    /// Nearest-rank percentile of the completed-query latency distribution
-    /// (`p` in `(0, 100]`); zero when nothing completed.
+    /// Nearest-rank percentile of the completed-query latency distribution.
+    ///
+    /// Defined for every input: `p` is clamped into `[0, 100]` (a NaN reads
+    /// as 0), `p = 0` is the minimum, `p = 100` the maximum, a single-sample
+    /// run returns that sample for every `p`, and an empty run returns zero
+    /// seconds — never an index panic, never a NaN.
     pub fn latency_percentile(&self, p: f64) -> Seconds {
         if self.latencies.is_empty() {
             return Seconds::zero();
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let rank = ((p / 100.0) * self.latencies.len() as f64).ceil() as usize;
         Seconds(self.latencies[rank.clamp(1, self.latencies.len()) - 1])
     }
@@ -304,19 +641,39 @@ impl ServingResult {
         self.energy / self.completed as f64
     }
 
-    /// Busy share of a server over the makespan.
+    /// Busy share of a server over the makespan: per-slot mean utilization
+    /// for dedicated pools, non-empty fraction for processor sharing.
     pub fn server_utilization(&self, server: usize) -> f64 {
-        if self.makespan.value() <= f64::EPSILON {
+        let capacity = self.makespan.value() * self.server_slots[server].max(1) as f64;
+        if capacity <= f64::EPSILON {
             return 0.0;
         }
-        (self.server_busy[server].value() / self.makespan.value()).clamp(0.0, 1.0)
+        (self.server_busy[server].value() / capacity).clamp(0.0, 1.0)
+    }
+
+    /// Time-averaged queries in system across every pool and the central
+    /// queue — the queue-depth figure of merit feedback schedulers drive
+    /// down.
+    pub fn mean_system_depth(&self) -> f64 {
+        self.pool_mean_depth.iter().sum::<f64>() + self.central_mean_depth
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum ServingEvent {
     Arrival,
-    Completion { server: usize },
+    /// A dedicated slot finishes the identified query.
+    Completion {
+        server: usize,
+        query: u64,
+    },
+    /// The earliest remaining-work horizon of a processor-sharing pool;
+    /// stale epochs (the in-flight set changed since scheduling) are
+    /// ignored.
+    PsHorizon {
+        server: usize,
+        epoch: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -327,8 +684,80 @@ struct Queued {
 
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
+    id: u64,
     arrival: f64,
     template: usize,
+    /// Remaining service requirement in solo-rate seconds (advanced lazily
+    /// for processor-sharing pools; unused for dedicated slots, whose
+    /// completion instants are fixed at start).
+    remaining: f64,
+}
+
+/// Per-pool runtime state: the in-flight set, the pool's own queue, and the
+/// queue-depth integrals behind [`ServingResult::pool_mean_depth`].
+struct Pool {
+    in_flight: Vec<InFlight>,
+    queue: VecDeque<Queued>,
+    /// Invalidates in-air [`ServingEvent::PsHorizon`] events.
+    epoch: u64,
+    /// Last instant the in-flight remaining work was advanced (PS only).
+    advanced_at: f64,
+    busy: f64,
+    query_energy: f64,
+    completed: usize,
+    max_queued: usize,
+    depth_integral: f64,
+    depth_since: f64,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            in_flight: Vec::new(),
+            queue: VecDeque::new(),
+            epoch: 0,
+            advanced_at: 0.0,
+            busy: 0.0,
+            query_energy: 0.0,
+            completed: 0,
+            max_queued: 0,
+            depth_integral: 0.0,
+            depth_since: 0.0,
+        }
+    }
+
+    /// Integrate the in-system depth up to `now` (call before any change).
+    fn note_depth(&mut self, now: f64) {
+        self.depth_integral +=
+            (now - self.depth_since) * (self.queue.len() + self.in_flight.len()) as f64;
+        self.depth_since = now;
+    }
+
+    /// Advance every in-flight query's remaining work to `now` at the
+    /// equal-share rate, accruing wall busy time (PS pools only).
+    fn advance_shared(&mut self, now: f64) {
+        let k = self.in_flight.len();
+        if k > 0 {
+            let elapsed = now - self.advanced_at;
+            let each = elapsed / k as f64;
+            for flight in &mut self.in_flight {
+                flight.remaining -= each;
+            }
+            self.busy += elapsed;
+        }
+        self.advanced_at = now;
+    }
+
+    /// Index of the in-flight query with the least remaining work (ties
+    /// break to the earliest-started — the lowest index).
+    fn min_remaining(&self) -> Option<usize> {
+        (0..self.in_flight.len()).min_by(|&a, &b| {
+            self.in_flight[a]
+                .remaining
+                .total_cmp(&self.in_flight[b].remaining)
+                .then(a.cmp(&b))
+        })
+    }
 }
 
 struct ServingEngine<'a> {
@@ -337,18 +766,19 @@ struct ServingEngine<'a> {
     config: &'a ServingConfig,
     /// Cumulative Zipf weights over templates, last entry 1.0.
     template_cdf: Vec<f64>,
-    idle: Vec<bool>,
-    in_flight: Vec<Option<InFlight>>,
-    queue: VecDeque<Queued>,
+    /// Cursor into a trace's arrival instants.
+    trace_next: usize,
+    next_query_id: u64,
+    pools: Vec<Pool>,
+    central: VecDeque<Queued>,
+    central_integral: f64,
+    central_since: f64,
     arrivals: usize,
     dropped: usize,
     timed_out: usize,
     latencies: Vec<f64>,
     wait_sum: f64,
     wait_count: usize,
-    server_busy: Vec<f64>,
-    server_query_energy: Vec<f64>,
-    server_queries: Vec<usize>,
     template_completed: Vec<usize>,
 }
 
@@ -361,14 +791,61 @@ impl ServingEngine<'_> {
             .unwrap_or(self.template_cdf.len() - 1)
     }
 
-    /// Remove queued entries that have outlived `max_wait`.
-    fn purge_expired(&mut self, now: f64) {
-        let Some(max_wait) = self.config.max_wait else {
-            return;
-        };
-        let before = self.queue.len();
-        self.queue.retain(|q| now - q.arrival <= max_wait.value());
-        self.timed_out += before - self.queue.len();
+    /// Total queries waiting anywhere — bounded by `queue_capacity`.
+    fn total_waiting(&self) -> usize {
+        self.central.len() + self.pools.iter().map(|p| p.queue.len()).sum::<usize>()
+    }
+
+    fn note_central_depth(&mut self, now: f64) {
+        self.central_integral += (now - self.central_since) * self.central.len() as f64;
+        self.central_since = now;
+    }
+
+    /// The next arrival instant strictly inside the window, advancing the
+    /// process state (trace cursor / RNG stream).
+    fn next_arrival(&mut self, now: f64, sim: &mut Simulation<ServingEvent>) -> Option<f64> {
+        let horizon = self.config.duration.value();
+        match &self.config.arrival {
+            ArrivalProcess::Poisson { qps } => {
+                // lint:allow(panic-policy): qps was validated finite-positive by simulate_serving
+                let gap = sim.sample_exponential(1.0 / qps).expect("validated rate");
+                Some(now + gap).filter(|&t| t < horizon)
+            }
+            ArrivalProcess::Trace(times) => {
+                let time = times.get(self.trace_next)?.value();
+                self.trace_next += 1;
+                // Validation pinned the instants non-decreasing, so `time`
+                // never lies before the clock.
+                Some(time).filter(|&t| t < horizon)
+            }
+            ArrivalProcess::Ramp(segments) => {
+                let mut t = now;
+                let mut start = 0.0;
+                for segment in segments {
+                    let end = start + segment.duration.value();
+                    if end <= t {
+                        start = end;
+                        continue;
+                    }
+                    if segment.qps > 0.0 {
+                        let gap = sim
+                            .sample_exponential(1.0 / segment.qps)
+                            // lint:allow(panic-policy): segment rates were validated finite by simulate_serving
+                            .expect("validated rate");
+                        let candidate = t.max(start) + gap;
+                        if candidate < end {
+                            return Some(candidate).filter(|&c| c < horizon);
+                        }
+                    }
+                    // Memorylessness: restarting the draw at the boundary
+                    // with the next segment's rate is exact for a
+                    // piecewise-constant Poisson process.
+                    t = end;
+                    start = end;
+                }
+                None
+            }
+        }
     }
 
     /// Start service for `query` on `server` at time `now`.
@@ -380,36 +857,154 @@ impl ServingEngine<'_> {
         now: f64,
     ) {
         let profile = self.servers[server].profiles[query.template]
+            // lint:allow(panic-policy): scheduler contract — place() must return a capable pool; the shipped policies are property-tested for it
             .expect("scheduler placed an unservable template");
         let service = match self.config.service {
             ServiceDistribution::Deterministic => profile.time.value(),
             ServiceDistribution::Exponential => sim
                 .sample_exponential(profile.time.value())
+                // lint:allow(panic-policy): profile times were validated finite-positive by simulate_serving
                 .expect("profile times are validated positive"),
         };
-        // Energy scales with actual service time, so exponential draws keep
-        // the profile's mean power.
+        // Energy scales with actual service requirement, so exponential
+        // draws keep the profile's mean power.
         let energy = profile.energy.value() * (service / profile.time.value());
-        self.idle[server] = false;
-        self.in_flight[server] = Some(InFlight {
-            arrival: query.arrival,
-            template: query.template,
-        });
+        let pool = &mut self.pools[server];
+        pool.note_depth(now);
+        let id = self.next_query_id;
+        self.next_query_id += 1;
         self.wait_sum += now - query.arrival;
         self.wait_count += 1;
-        self.server_busy[server] += service;
-        self.server_query_energy[server] += energy;
-        sim.schedule_in(service, ServingEvent::Completion { server })
-            .expect("service times are finite and non-negative");
+        pool.query_energy += energy;
+        match self.servers[server].mode {
+            ServiceMode::Dedicated => {
+                pool.busy += service;
+                pool.in_flight.push(InFlight {
+                    id,
+                    arrival: query.arrival,
+                    template: query.template,
+                    remaining: 0.0,
+                });
+                sim.schedule_in(service, ServingEvent::Completion { server, query: id })
+                    // lint:allow(panic-policy): service times are finite and non-negative by construction
+                    .expect("service times are finite and non-negative");
+            }
+            ServiceMode::ProcessorSharing => {
+                pool.advance_shared(now);
+                pool.in_flight.push(InFlight {
+                    id,
+                    arrival: query.arrival,
+                    template: query.template,
+                    remaining: service,
+                });
+                self.reschedule_ps(sim, server);
+            }
+        }
+    }
+
+    /// Re-arm the processor-sharing horizon event for `server` after its
+    /// in-flight set changed (remaining work must already be advanced).
+    fn reschedule_ps(&mut self, sim: &mut Simulation<ServingEvent>, server: usize) {
+        let pool = &mut self.pools[server];
+        pool.epoch += 1;
+        let k = pool.in_flight.len();
+        if k == 0 {
+            return;
+        }
+        let epoch = pool.epoch;
+        // lint:allow(panic-policy): a non-empty in-flight set has a minimum
+        let soonest = pool.min_remaining().expect("non-empty in-flight set");
+        // Everyone shares the rate equally, so the least remaining work
+        // completes after `remaining * k` wall seconds (clamped: float
+        // drift may leave a hair of negative remainder at the horizon).
+        let delay = (pool.in_flight[soonest].remaining * k as f64).max(0.0);
+        sim.schedule_in(delay, ServingEvent::PsHorizon { server, epoch })
+            // lint:allow(panic-policy): the delay is clamped finite and non-negative one line above
+            .expect("horizon delay is finite and non-negative");
+    }
+
+    /// Record a finished query popped out of `server`'s in-flight set.
+    fn complete(&mut self, done: InFlight, server: usize, now: f64) {
+        self.latencies.push(now - done.arrival);
+        self.template_completed[done.template] += 1;
+        self.pools[server].completed += 1;
+    }
+
+    /// Remove queued entries that have outlived `max_wait`, everywhere.
+    fn purge_expired(&mut self, now: f64) {
+        let Some(max_wait) = self.config.max_wait else {
+            return;
+        };
+        let horizon = now - max_wait.value();
+        self.note_central_depth(now);
+        let before = self.central.len();
+        self.central.retain(|q| q.arrival >= horizon);
+        self.timed_out += before - self.central.len();
+        for pool in &mut self.pools {
+            pool.note_depth(now);
+            let before = pool.queue.len();
+            pool.queue.retain(|q| q.arrival >= horizon);
+            self.timed_out += before - pool.queue.len();
+        }
     }
 
     /// Place an admitted query, or queue/drop it.
     fn admit(&mut self, sim: &mut Simulation<ServingEvent>, query: Queued, now: f64) {
-        let idle: Vec<usize> = (0..self.servers.len()).filter(|&s| self.idle[s]).collect();
-        match self.scheduler.place(query.template, &idle, self.servers) {
-            Some(server) => self.start(sim, server, query, now),
-            None if self.queue.len() < self.config.queue_capacity => self.queue.push_back(query),
-            None => self.dropped += 1,
+        let views: Vec<PoolView> = self
+            .pools
+            .iter()
+            .zip(self.servers)
+            .map(|(pool, server)| PoolView {
+                in_flight: pool.in_flight.len(),
+                queued: pool.queue.len(),
+                free_slots: server
+                    .concurrency_limit
+                    .saturating_sub(pool.in_flight.len()),
+            })
+            .collect();
+        let placed = {
+            let scheduler = &mut *self.scheduler;
+            let mut draw = || sim.sample_unit();
+            scheduler.place(query.template, self.servers, &views, &mut draw)
+        };
+        match placed {
+            Some(server) if views[server].free_slots > 0 => self.start(sim, server, query, now),
+            Some(server) if self.total_waiting() < self.config.queue_capacity => {
+                let pool = &mut self.pools[server];
+                pool.note_depth(now);
+                pool.queue.push_back(query);
+                pool.max_queued = pool.max_queued.max(pool.queue.len());
+            }
+            None if self.total_waiting() < self.config.queue_capacity => {
+                self.note_central_depth(now);
+                self.central.push_back(query);
+            }
+            _ => self.dropped += 1,
+        }
+    }
+
+    /// Fill every free slot of `server` from its own queue first, then from
+    /// the oldest capable entry of the central queue.
+    fn refill(&mut self, sim: &mut Simulation<ServingEvent>, server: usize, now: f64) {
+        while self.pools[server].in_flight.len() < self.servers[server].concurrency_limit {
+            let pool = &mut self.pools[server];
+            if let Some(query) = pool.queue.front().copied() {
+                pool.note_depth(now);
+                pool.queue.pop_front();
+                self.start(sim, server, query, now);
+                continue;
+            }
+            let Some(pos) = self
+                .central
+                .iter()
+                .position(|q| self.servers[server].can_serve(q.template))
+            else {
+                break;
+            };
+            self.note_central_depth(now);
+            // lint:allow(panic-policy): the position came from the same queue one line above
+            let query = self.central.remove(pos).expect("position is in bounds");
+            self.start(sim, server, query, now);
         }
     }
 }
@@ -432,33 +1027,41 @@ impl EventHandler<ServingEvent> for ServingEngine<'_> {
                 );
                 // Open loop: the next arrival is scheduled regardless of
                 // service progress, but only inside the arrival window.
-                let gap = sim
-                    .sample_exponential(1.0 / self.config.qps)
-                    .expect("qps is validated positive");
-                if now + gap < self.config.duration.value() {
-                    sim.schedule_in(gap, ServingEvent::Arrival)
-                        .expect("gap is finite and non-negative");
+                if let Some(at) = self.next_arrival(now, sim) {
+                    sim.schedule_at(at, ServingEvent::Arrival)
+                        // lint:allow(panic-policy): next_arrival only yields finite instants at or after the clock
+                        .expect("arrival instants are finite and non-past");
                 }
             }
-            ServingEvent::Completion { server } => {
-                let done = self.in_flight[server]
-                    .take()
-                    .expect("completion for an idle server");
-                self.latencies.push(now - done.arrival);
-                self.template_completed[done.template] += 1;
-                self.server_queries[server] += 1;
-                self.idle[server] = true;
-                self.purge_expired(now);
-                // FCFS queue discipline with heterogeneous capability: the
-                // freed server takes the oldest queued query it can serve.
-                if let Some(pos) = self
-                    .queue
+            ServingEvent::Completion { server, query } => {
+                let pool = &mut self.pools[server];
+                pool.note_depth(now);
+                let index = pool
+                    .in_flight
                     .iter()
-                    .position(|q| self.servers[server].can_serve(q.template))
-                {
-                    let query = self.queue.remove(pos).expect("position is in bounds");
-                    self.start(sim, server, query, now);
+                    .position(|f| f.id == query)
+                    // lint:allow(panic-policy): dedicated completions are scheduled exactly once per started query
+                    .expect("completion for a query not in flight");
+                let done = pool.in_flight.swap_remove(index);
+                self.complete(done, server, now);
+                self.purge_expired(now);
+                self.refill(sim, server, now);
+            }
+            ServingEvent::PsHorizon { server, epoch } => {
+                if self.pools[server].epoch != epoch {
+                    return; // Stale horizon: the in-flight set changed.
                 }
+                let pool = &mut self.pools[server];
+                pool.note_depth(now);
+                pool.advance_shared(now);
+                let Some(index) = pool.min_remaining() else {
+                    return;
+                };
+                let done = pool.in_flight.swap_remove(index);
+                self.complete(done, server, now);
+                self.reschedule_ps(sim, server);
+                self.purge_expired(now);
+                self.refill(sim, server, now);
             }
         }
     }
@@ -490,6 +1093,12 @@ pub fn simulate_serving(
                 templates
             )));
         }
+        if server.concurrency_limit == 0 {
+            return Err(SimError::invalid(format!(
+                "server '{}' has a zero concurrency limit",
+                server.label
+            )));
+        }
         for profile in server.profiles.iter().flatten() {
             if profile.time.value() <= 0.0 || !profile.time.value().is_finite() {
                 return Err(SimError::invalid(format!(
@@ -506,12 +1115,7 @@ pub fn simulate_serving(
             )));
         }
     }
-    if !config.qps.is_finite() || config.qps <= 0.0 {
-        return Err(SimError::invalid(format!(
-            "offered QPS must be positive, got {}",
-            config.qps
-        )));
-    }
+    config.arrival.validate()?;
     if config.duration.value() <= 0.0 {
         return Err(SimError::invalid("arrival window must be positive"));
     }
@@ -538,45 +1142,56 @@ pub fn simulate_serving(
         scheduler,
         config,
         template_cdf,
-        idle: vec![true; servers.len()],
-        in_flight: vec![None; servers.len()],
-        queue: VecDeque::new(),
+        trace_next: 0,
+        next_query_id: 0,
+        pools: (0..servers.len()).map(|_| Pool::new()).collect(),
+        central: VecDeque::new(),
+        central_integral: 0.0,
+        central_since: 0.0,
         arrivals: 0,
         dropped: 0,
         timed_out: 0,
         latencies: Vec::new(),
         wait_sum: 0.0,
         wait_count: 0,
-        server_busy: vec![0.0; servers.len()],
-        server_query_energy: vec![0.0; servers.len()],
-        server_queries: vec![0; servers.len()],
         template_completed: vec![0; templates],
     };
 
     let mut sim: Simulation<ServingEvent> = Simulation::new(config.seed);
-    let first = sim.sample_exponential(1.0 / config.qps)?;
-    if first < config.duration.value() {
-        sim.schedule_in(first, ServingEvent::Arrival)?;
+    if let Some(first) = engine.next_arrival(0.0, &mut sim) {
+        sim.schedule_at(first, ServingEvent::Arrival)?;
     }
     sim.run(&mut engine);
 
-    debug_assert!(engine.queue.is_empty(), "run ended with queued queries");
+    debug_assert!(
+        engine.central.is_empty() && engine.pools.iter().all(|p| p.queue.is_empty()),
+        "run ended with queued queries"
+    );
     let makespan = sim.time().max(config.duration.value());
+    engine.note_central_depth(makespan);
+    for pool in &mut engine.pools {
+        pool.note_depth(makespan);
+    }
     let mut latencies = engine.latencies;
     latencies.sort_by(f64::total_cmp);
 
-    let server_energy: Vec<Joules> = (0..servers.len())
-        .map(|s| {
-            let idle_time = (makespan - engine.server_busy[s]).max(0.0);
-            Joules(engine.server_query_energy[s]) + servers[s].idle_power * Seconds(idle_time)
+    let server_energy: Vec<Joules> = engine
+        .pools
+        .iter()
+        .zip(servers)
+        .map(|(pool, server)| {
+            let slots = server.slots() as f64;
+            let idle_time = (makespan * slots - pool.busy).max(0.0) / slots;
+            Joules(pool.query_energy) + server.idle_power * Seconds(idle_time)
         })
         .collect();
-    let query_energy = Joules(engine.server_query_energy.iter().sum());
+    let query_energy = Joules(engine.pools.iter().map(|p| p.query_energy).sum());
     let energy = server_energy.iter().copied().sum::<Joules>();
 
     Ok(ServingResult {
         scheduler: engine.scheduler.name(),
-        offered_qps: config.qps,
+        arrival: config.arrival.kind().to_string(),
+        offered_qps: config.arrival.mean_qps(config.duration),
         window: config.duration,
         makespan: Seconds(makespan),
         arrivals: engine.arrivals,
@@ -592,9 +1207,17 @@ pub fn simulate_serving(
         energy,
         query_energy,
         idle_energy: energy - query_energy,
-        server_busy: engine.server_busy.into_iter().map(Seconds).collect(),
+        server_busy: engine.pools.iter().map(|p| Seconds(p.busy)).collect(),
         server_energy,
-        server_queries: engine.server_queries,
+        server_queries: engine.pools.iter().map(|p| p.completed).collect(),
+        server_slots: servers.iter().map(ServingServer::slots).collect(),
+        pool_mean_depth: engine
+            .pools
+            .iter()
+            .map(|p| p.depth_integral / makespan)
+            .collect(),
+        pool_max_queued: engine.pools.iter().map(|p| p.max_queued).collect(),
+        central_mean_depth: engine.central_integral / makespan,
         template_completed: engine.template_completed,
     })
 }
@@ -604,10 +1227,10 @@ mod tests {
     use super::*;
 
     fn server(label: &str, times: &[Option<(f64, f64)>], idle_power: f64) -> ServingServer {
-        ServingServer {
-            label: label.into(),
-            idle_power: Watts(idle_power),
-            profiles: times
+        ServingServer::new(
+            label,
+            Watts(idle_power),
+            times
                 .iter()
                 .map(|t| {
                     t.map(|(time, energy)| ServiceProfile {
@@ -616,10 +1239,10 @@ mod tests {
                     })
                 })
                 .collect(),
-        }
+        )
     }
 
-    /// Satellite: the queueing kernel against closed form. An M/M/1 queue at
+    /// The queueing kernel against closed form. An M/M/1 queue at
     /// ρ = λ/μ = 0.8 has mean wait ρ/(μ−λ) = 4 s; the simulated mean wait
     /// must land within 5%.
     #[test]
@@ -643,9 +1266,18 @@ mod tests {
         );
         // Utilization converges to ρ as well.
         assert!((result.server_utilization(0) - rho).abs() < 0.02);
+        // The central queue is where every waiting query sat; its mean
+        // length converges to the M/M/1 L_q = ρ²/(1−ρ).
+        let lq = rho * rho / (1.0 - rho);
+        assert!(
+            (result.central_mean_depth - lq).abs() / lq < 0.06,
+            "central depth {} vs L_q {lq}",
+            result.central_mean_depth
+        );
+        assert_eq!(result.arrival, "poisson");
     }
 
-    /// Satellite: two runs with the same seed are bit-identical.
+    /// Two runs with the same seed are bit-identical.
     #[test]
     fn same_seed_is_bit_identical() {
         let servers = vec![
@@ -790,10 +1422,170 @@ mod tests {
         );
     }
 
+    /// A pool with `c` dedicated slots drains `c` queries at once: offered
+    /// load just under `c·μ` stays stable where a single slot saturates.
+    #[test]
+    fn concurrency_limit_multiplies_throughput() {
+        let config = ServingConfig::new(3.0, Seconds(2_000.0), 23).queue_capacity(usize::MAX);
+        let single = vec![server("s1", &[Some((1.0, 100.0))], 50.0)];
+        let quad = vec![server("s4", &[Some((1.0, 100.0))], 50.0).concurrency_limit(4)];
+        let saturated = simulate_serving(&single, &config, &mut FcfsScheduler).unwrap();
+        let pooled = simulate_serving(&quad, &config, &mut FcfsScheduler).unwrap();
+        // One slot at μ=1 cannot carry 3 qps; four slots carry it easily.
+        assert!(saturated.makespan.value() > 2.0 * saturated.window.value());
+        assert!(
+            (pooled.achieved_qps() - 3.0).abs() < 0.1,
+            "{}",
+            pooled.achieved_qps()
+        );
+        assert!(pooled.mean_wait.value() < 1.0);
+        // Per-slot utilization reads ρ = λ/(cμ) = 0.75, not 3.0.
+        assert!((pooled.server_utilization(0) - 0.75).abs() < 0.05);
+        assert_eq!(pooled.server_slots, vec![4]);
+    }
+
+    /// Processor sharing: every in-flight query progresses at rate 1/k, so
+    /// two simultaneous unit jobs both finish at t = 2.
+    #[test]
+    fn processor_sharing_divides_the_rate() {
+        let servers = vec![server("ps", &[Some((1.0, 100.0))], 50.0)
+            .concurrency_limit(8)
+            .processor_sharing()];
+        // Two arrivals at t = 0 and t = 0 (trace), nothing else.
+        let config = ServingConfig::new(1.0, Seconds(10.0), 5)
+            .arrival(ArrivalProcess::Trace(vec![Seconds(0.0), Seconds(0.0)]));
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert_eq!(result.arrivals, 2);
+        assert_eq!(result.completed, 2);
+        assert_eq!(result.arrival, "trace");
+        // Both share the processor: each takes 2 wall seconds.
+        for latency in &result.latencies {
+            assert!((latency - 2.0).abs() < 1e-9, "{:?}", result.latencies);
+        }
+        // Wall busy time is 2 s (one shared processor), not 4.
+        assert!((result.server_busy[0].value() - 2.0).abs() < 1e-9);
+        assert_eq!(result.server_slots, vec![1]);
+        assert_eq!(result.mean_wait, Seconds(0.0), "PS admits immediately");
+    }
+
+    #[test]
+    fn trace_arrivals_replay_the_recorded_instants() {
+        let servers = vec![server("s", &[Some((0.5, 10.0))], 20.0)];
+        let times = vec![Seconds(0.5), Seconds(1.0), Seconds(1.0), Seconds(7.5)];
+        let config =
+            ServingConfig::new(1.0, Seconds(5.0), 3).arrival(ArrivalProcess::Trace(times.clone()));
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        // The 7.5 s instant lies beyond the 5 s window and is ignored.
+        assert_eq!(result.arrivals, 3);
+        assert_eq!(result.completed, 3);
+        let expected = ArrivalProcess::Trace(times).mean_qps(Seconds(5.0));
+        assert!((result.offered_qps - expected).abs() < 1e-12);
+        assert!((expected - 0.6).abs() < 1e-12);
+        // Replays are deterministic even without RNG draws.
+        let again = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert_eq!(result, again);
+    }
+
+    #[test]
+    fn ramp_arrivals_follow_the_piecewise_rates() {
+        let servers = vec![server("s", &[Some((0.01, 1.0))], 10.0).concurrency_limit(64)];
+        // Quiet night, busy day, quiet evening.
+        let ramp = ArrivalProcess::Ramp(vec![
+            RampSegment {
+                duration: Seconds(1_000.0),
+                qps: 0.1,
+            },
+            RampSegment {
+                duration: Seconds(1_000.0),
+                qps: 5.0,
+            },
+            RampSegment {
+                duration: Seconds(1_000.0),
+                qps: 0.1,
+            },
+        ]);
+        let config = ServingConfig::new(1.0, Seconds(3_000.0), 11)
+            .arrival(ramp.clone())
+            .queue_capacity(usize::MAX);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert_eq!(result.arrival, "ramp");
+        // Mean offered rate: (100 + 5000 + 100) / 3000 ≈ 1.733.
+        assert!((result.offered_qps - 5_200.0 / 3_000.0).abs() < 1e-9);
+        let expected = 5_200.0;
+        let got = result.arrivals as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "arrivals {got} vs expected {expected}"
+        );
+        // The day segment dominates: most completions land inside it.
+        let day_share = result.latencies.len() as f64;
+        assert!(day_share > 0.0);
+        // Window truncation: a ramp shorter than the window stops arriving.
+        let short = ServingConfig::new(1.0, Seconds(10_000.0), 11)
+            .arrival(ArrivalProcess::Ramp(vec![RampSegment {
+                duration: Seconds(100.0),
+                qps: 2.0,
+            }]))
+            .queue_capacity(usize::MAX);
+        let truncated = simulate_serving(&servers, &short, &mut FcfsScheduler).unwrap();
+        assert!(
+            (truncated.arrivals as f64 - 200.0).abs() < 60.0,
+            "{}",
+            truncated.arrivals
+        );
+    }
+
+    #[test]
+    fn jsq_balances_where_random_piles_up() {
+        let profiles: Vec<Option<(f64, f64)>> = vec![Some((1.0, 10.0))];
+        let servers: Vec<ServingServer> = (0..4)
+            .map(|i| server(&format!("s{i}"), &profiles, 10.0))
+            .collect();
+        let config = ServingConfig::new(3.2, Seconds(10_000.0), 31)
+            .queue_capacity(usize::MAX)
+            .exponential_service();
+        let jsq = simulate_serving(&servers, &config, &mut JoinShortestQueue).unwrap();
+        let random = simulate_serving(&servers, &config, &mut RandomScheduler).unwrap();
+        assert_eq!(jsq.scheduler, "jsq");
+        assert_eq!(random.scheduler, "random");
+        assert_eq!(jsq.completed + jsq.timed_out + jsq.dropped, jsq.arrivals);
+        // Queue-state feedback beats blind assignment on depth and tail.
+        assert!(
+            jsq.mean_system_depth() < random.mean_system_depth(),
+            "jsq {} vs random {}",
+            jsq.mean_system_depth(),
+            random.mean_system_depth()
+        );
+        assert!(jsq.p99() < random.p99());
+        // JSQ commits to pool queues; the central queue stays empty.
+        assert_eq!(jsq.central_mean_depth, 0.0);
+        assert!(jsq.pool_mean_depth.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn po2_respects_capability_and_stays_deterministic() {
+        // Template 1 fits only pool 0; po2 must never probe it onto pool 1.
+        let servers = vec![
+            server("both", &[Some((0.5, 10.0)), Some((0.5, 10.0))], 10.0),
+            server("only0", &[Some((0.5, 10.0)), None], 10.0),
+        ];
+        let config = ServingConfig::new(1.5, Seconds(4_000.0), 41).queue_capacity(usize::MAX);
+        let a = simulate_serving(&servers, &config, &mut PowerOfTwoChoices).unwrap();
+        let b = simulate_serving(&servers, &config, &mut PowerOfTwoChoices).unwrap();
+        assert_eq!(a, b, "po2 draws come from the seeded kernel RNG");
+        assert_eq!(a.scheduler, "po2");
+        assert_eq!(a.completed + a.timed_out + a.dropped, a.arrivals);
+        // Template 1 completions all ran somewhere capable (pool 0), and
+        // pool 1 still served plenty of template 0.
+        assert!(a.template_completed[1] > 0);
+        assert!(a.server_queries[1] > 0);
+    }
+
     #[test]
     fn percentiles_are_nearest_rank() {
         let result = ServingResult {
             scheduler: "fcfs".into(),
+            arrival: "poisson".into(),
             offered_qps: 1.0,
             window: Seconds(1.0),
             makespan: Seconds(1.0),
@@ -809,6 +1601,10 @@ mod tests {
             server_busy: vec![Seconds(0.0)],
             server_energy: vec![Joules(0.0)],
             server_queries: vec![4],
+            server_slots: vec![1],
+            pool_mean_depth: vec![0.0],
+            pool_max_queued: vec![0],
+            central_mean_depth: 0.0,
             template_completed: vec![4],
         };
         assert_eq!(result.p50(), Seconds(2.0));
@@ -816,11 +1612,33 @@ mod tests {
         assert_eq!(result.p99(), Seconds(4.0));
         assert_eq!(result.latency_percentile(1.0), Seconds(1.0));
         assert_eq!(result.mean_latency(), Seconds(2.5));
+        // The edge cases are pinned, not caller-disciplined: p = 0 is the
+        // minimum, p = 100 the maximum, out-of-range and NaN inputs clamp.
+        assert_eq!(result.latency_percentile(0.0), Seconds(1.0));
+        assert_eq!(result.latency_percentile(100.0), Seconds(4.0));
+        assert_eq!(result.latency_percentile(-5.0), Seconds(1.0));
+        assert_eq!(result.latency_percentile(250.0), Seconds(4.0));
+        assert_eq!(result.latency_percentile(f64::NAN), Seconds(1.0));
+        assert_eq!(result.latency_percentile(f64::INFINITY), Seconds(4.0));
+        assert_eq!(result.latency_percentile(f64::NEG_INFINITY), Seconds(1.0));
+        // A single-sample run returns that sample at every percentile.
+        let single = ServingResult {
+            latencies: vec![7.0],
+            completed: 1,
+            ..result.clone()
+        };
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.latency_percentile(p), Seconds(7.0));
+        }
+        // An empty run returns a defined zero for every percentile.
         let empty = ServingResult {
             latencies: Vec::new(),
             completed: 0,
             ..result
         };
+        for p in [0.0, 50.0, 99.0, 100.0, f64::NAN] {
+            assert_eq!(empty.latency_percentile(p), Seconds::zero());
+        }
         assert_eq!(empty.p99(), Seconds::zero());
         assert_eq!(empty.mean_latency(), Seconds::zero());
     }
@@ -841,11 +1659,43 @@ mod tests {
         assert!(simulate_serving(&ragged, &config, &mut FcfsScheduler).is_err());
         let zero_time = vec![server("s", &[Some((0.0, 1.0))], 1.0)];
         assert!(simulate_serving(&zero_time, &config, &mut FcfsScheduler).is_err());
+        let zero_limit = vec![server("s", &[Some((1.0, 1.0))], 1.0).concurrency_limit(0)];
+        assert!(simulate_serving(&zero_limit, &config, &mut FcfsScheduler).is_err());
         let bad_qps = ServingConfig::new(0.0, Seconds(10.0), 1);
         assert!(simulate_serving(&ok, &bad_qps, &mut FcfsScheduler).is_err());
         let bad_duration = ServingConfig::new(1.0, Seconds(0.0), 1);
         assert!(simulate_serving(&ok, &bad_duration, &mut FcfsScheduler).is_err());
         let bad_theta = ServingConfig::new(1.0, Seconds(10.0), 1).template_theta(-1.0);
         assert!(simulate_serving(&ok, &bad_theta, &mut FcfsScheduler).is_err());
+        // Arrival-process validation.
+        let bad_trace = config
+            .clone()
+            .arrival(ArrivalProcess::Trace(vec![Seconds(2.0), Seconds(1.0)]));
+        assert!(simulate_serving(&ok, &bad_trace, &mut FcfsScheduler).is_err());
+        let nan_trace = config
+            .clone()
+            .arrival(ArrivalProcess::Trace(vec![Seconds(f64::NAN)]));
+        assert!(simulate_serving(&ok, &nan_trace, &mut FcfsScheduler).is_err());
+        let empty_ramp = config.clone().arrival(ArrivalProcess::Ramp(Vec::new()));
+        assert!(simulate_serving(&ok, &empty_ramp, &mut FcfsScheduler).is_err());
+        let bad_ramp = config
+            .clone()
+            .arrival(ArrivalProcess::Ramp(vec![RampSegment {
+                duration: Seconds(0.0),
+                qps: 1.0,
+            }]));
+        assert!(simulate_serving(&ok, &bad_ramp, &mut FcfsScheduler).is_err());
+        let bad_rate = config.arrival(ArrivalProcess::Ramp(vec![RampSegment {
+            duration: Seconds(1.0),
+            qps: -2.0,
+        }]));
+        assert!(simulate_serving(&ok, &bad_rate, &mut FcfsScheduler).is_err());
+        // An empty trace is a valid no-arrival run, not an error.
+        let quiet =
+            ServingConfig::new(1.0, Seconds(10.0), 1).arrival(ArrivalProcess::Trace(Vec::new()));
+        let result = simulate_serving(&ok, &quiet, &mut FcfsScheduler).unwrap();
+        assert_eq!(result.arrivals, 0);
+        assert_eq!(result.makespan, Seconds(10.0));
+        assert_eq!(result.p99(), Seconds::zero());
     }
 }

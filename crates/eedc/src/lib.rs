@@ -17,10 +17,12 @@
 //! * [`Traced`] — per-node utilization traces replayed through the power
 //!   models under an engine behaviour: the pipelined P-store engine or the
 //!   disk-staging, mid-query-restarting DBMS-X engine of Section 3.2,
-//! * [`Serving`] — an open-loop Poisson query stream (wrap the workload in
-//!   a [`ServingWorkload`]) through the discrete-event serving simulator:
-//!   admission queueing, FCFS or energy-aware Beefy-vs-Wimpy placement,
-//!   latency percentiles and energy-per-query.
+//! * [`Serving`] — an open-loop query stream (wrap the workload in a
+//!   [`ServingWorkload`]; Poisson, recorded-trace, or diurnal-ramp arrivals
+//!   via [`ArrivalProcess`]) through the discrete-event serving simulator:
+//!   admission queueing, concurrency-limited or processor-sharing pools,
+//!   FCFS / energy-aware / join-shortest-queue / power-of-two-choices
+//!   placement, latency percentiles and energy-per-query.
 //!
 //! Every lens yields the same [`RunRecord`] shape (response time, energy,
 //! EDP, per-node utilization/energy, normalized-vs-reference point), and
@@ -83,9 +85,10 @@ pub use eedc_tpch as tpch;
 // The experiment API is the facade's front door: re-export it at the top
 // level so examples and downstream code write `eedc::Experiment`.
 pub use eedc_core::{
-    Analytical, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace, Estimator, Experiment,
-    ExperimentReport, Measured, ProfiledQuery, RunRecord, RunSeries, Serving, ServingStats,
-    ServingWorkload, SkewedJoin, SweepJoin, Traced, Workload, WorkloadPlan,
+    Analytical, ArrivalProcess, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace,
+    Estimator, Experiment, ExperimentReport, Measured, ProfiledQuery, RampSegment, RunRecord,
+    RunSeries, Serving, ServingStats, ServingWorkload, SkewedJoin, SweepJoin, Traced, Workload,
+    WorkloadPlan,
 };
 
 #[cfg(test)]

@@ -1,15 +1,18 @@
-//! Serving Pareto sweep: offer the same open-loop Poisson query stream to
-//! three cluster designs and compare the trade-off each one buys — tail
-//! latency versus energy per completed query — under FCFS and energy-aware
-//! placement. The `Serving` lens prices each query template per node pool
-//! with the closed-form model, then plays the stream through the
-//! discrete-event serving simulator (admission queue, scheduler,
-//! completions).
+//! Serving Pareto sweep: offer the same open-loop query stream to three
+//! cluster designs and compare the trade-off each one buys — tail latency
+//! versus energy per completed query — under FCFS, energy-aware,
+//! join-shortest-queue, and power-of-two-choices placement. The `Serving`
+//! lens prices each query template per node pool with the closed-form
+//! model, then plays the stream through the discrete-event serving
+//! simulator (admission queue, scheduler, completions). The sweep closes
+//! with the SLA objective: the cheapest design whose p99 clears a floor.
 
 use eedc::pstore::{ClusterSpec, JoinQuerySpec};
 use eedc::simkit::catalog::{cluster_v_node, laptop_b};
 use eedc::simkit::units::{Megabytes, Seconds};
-use eedc::{Analytical, Estimator, Experiment, Serving, ServingWorkload, SweepJoin, Workload};
+use eedc::{
+    Analytical, DesignAdvisor, Estimator, Experiment, Serving, ServingWorkload, SweepJoin, Workload,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A join small enough that Wimpy pools can serve it too — the designs
@@ -35,9 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = ServingWorkload::new(&template, qps, window, 42);
 
     let report = Experiment::new(&workload)
-        .designs(designs)
+        .designs(designs.clone())
         .estimator(Serving::fcfs())
         .estimator(Serving::energy_aware())
+        .estimator(Serving::jsq())
+        .estimator(Serving::power_of_two())
         .run()?;
 
     println!(
@@ -49,18 +54,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for series in &report.series {
         println!("{} lens:", series.estimator);
         println!(
-            "  {:>8} {:>9} {:>9} {:>9} {:>7} {:>12}",
-            "design", "p50 (s)", "p99 (s)", "qps", "lost", "J/query"
+            "  {:>8} {:>9} {:>9} {:>9} {:>7} {:>8} {:>12}",
+            "design", "p50 (s)", "p99 (s)", "qps", "lost", "depth", "J/query"
         );
         for record in &series.records {
             let stats = record.serving.as_ref().expect("serving lens fills stats");
             println!(
-                "  {:>8} {:>9.2} {:>9.2} {:>9.4} {:>6.1}% {:>12.0}",
+                "  {:>8} {:>9.2} {:>9.2} {:>9.4} {:>6.1}% {:>8.2} {:>12.0}",
                 record.design,
                 stats.p50.value(),
                 stats.p99.value(),
                 stats.achieved_qps,
                 stats.drop_rate * 100.0,
+                stats.pool_mean_depth.iter().sum::<f64>(),
                 stats.energy_per_query.value(),
             );
         }
@@ -70,6 +76,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let point = record.normalized.expect("experiment normalizes records");
             println!("  {:>8}: {point}", record.design);
         }
+    }
+
+    // The SLA objective: among the three designs, the lowest-energy one
+    // whose simulated p99 clears a latency floor. At 3.5x the solo service
+    // time the floor is selective: under energy-aware placement only one
+    // design clears it at this load.
+    let floor = Seconds(3.5 * service_time);
+    let advisor = DesignAdvisor::new(Serving::energy_aware(), &workload);
+    match advisor.cheapest_meeting_p99(&designs, floor)? {
+        Some(pick) => {
+            let stats = pick.serving.as_ref().expect("serving lens fills stats");
+            println!(
+                "cheapest design meeting p99 <= {:.2} s: {} (p99 {:.2} s, {:.0} J/query)",
+                floor.value(),
+                pick.design,
+                stats.p99.value(),
+                stats.energy_per_query.value(),
+            );
+        }
+        None => println!(
+            "no design meets p99 <= {:.2} s at {qps:.4} qps",
+            floor.value()
+        ),
     }
     Ok(())
 }
