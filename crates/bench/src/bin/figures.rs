@@ -3,7 +3,8 @@
 //! the Figure 5 strategy comparison, a design-space sweep under all four
 //! estimator lenses (measured / analytical / behavioural / traced), the
 //! Section 3.2 DBMS-X-vs-P-store engine comparison, the serving-layer
-//! throughput–energy Pareto sweep, and the Figure 6 single-node sweep.
+//! throughput–energy Pareto sweep, the availability-under-churn fault
+//! sweep, and the Figure 6 single-node sweep.
 //!
 //! ```sh
 //! cargo run --release -p eedc-bench --bin figures [output-dir]
@@ -13,8 +14,8 @@
 
 use eedc_bench::bench_options;
 use eedc_core::{
-    Analytical, Behavioural, Estimator, Experiment, Measured, Serving, ServingWorkload, SweepJoin,
-    Traced, Workload,
+    Analytical, Behavioural, Estimator, Experiment, FaultModel, Measured, RecoveryPolicy,
+    ScalePolicy, Serving, ServingWorkload, SweepJoin, Traced, Workload,
 };
 use eedc_pstore::microbench::{table2_sweep, MicrobenchOptions};
 use eedc_pstore::{ClusterSpec, JoinQuerySpec, JoinStrategy};
@@ -181,6 +182,83 @@ fn main() {
             }
         }
         Err(err) => println!("serving sweep failed: {err}"),
+    }
+
+    // ---- Availability under churn: the same designs and stream, now with
+    // node failures (hazard + scripted outages), checkpoint recovery, and an
+    // elastic scale policy whose migration cost the lens derives from the
+    // port-volume model. Closes with the availability objective.
+    println!();
+    println!("== Faults: availability and energy under churn ==");
+    let churn_designs = [
+        ClusterSpec::homogeneous(cluster_v_node(), 8),
+        ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 8),
+        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 16),
+    ]
+    .map(|d| d.expect("spec is valid"));
+    let churn_result = Analytical
+        .estimate(&template.plans()[0], &churn_designs[0])
+        .map(|reference| {
+            let service_time = reference.response_time.value();
+            let window = eedc_simkit::units::Seconds(1_000.0 * service_time);
+            let rate = 6.0 * 3_600.0 / (8.0 * window.value());
+            let model = FaultModel::new(rate)
+                .repair_time(eedc_simkit::units::Seconds(2.0 * service_time))
+                .recovery(RecoveryPolicy::Checkpoint {
+                    interval: eedc_simkit::units::Seconds(service_time / 4.0),
+                })
+                .outage(
+                    0,
+                    eedc_simkit::units::Seconds(0.25 * window.value()),
+                    eedc_simkit::units::Seconds(4.0 * service_time),
+                )
+                .scale(ScalePolicy::new(
+                    12,
+                    1,
+                    eedc_simkit::units::Seconds(2.0 * service_time),
+                ));
+            let churned = ServingWorkload::new(&template, 0.4 / service_time, window, 4_242)
+                .queue_capacity(256)
+                .with_faults(model);
+            let report = Experiment::new(&churned)
+                .designs(churn_designs.clone())
+                .estimator(Serving::fcfs())
+                .run()?;
+            let advisor = eedc_core::DesignAdvisor::new(Serving::fcfs(), &churned);
+            let pick = advisor.cheapest_meeting_availability(&churn_designs, 0.98)?;
+            Ok::<_, eedc_core::CoreError>((report, pick))
+        })
+        .and_then(|r| r);
+    match churn_result {
+        Ok((report, pick)) => {
+            for record in &report.series[0].records {
+                let stats = record.serving.as_ref().expect("serving lens fills stats");
+                let faults = stats.faults.as_ref().expect("churned runs report faults");
+                println!(
+                    "  {:>7}: {:.5} available, {} failures, {}/{} killed/readmitted, {} scale events, {:6.0} J/query",
+                    record.design,
+                    faults.availability,
+                    faults.failures,
+                    faults.killed,
+                    faults.readmitted,
+                    faults.scale_out_events + faults.scale_in_events,
+                    stats.energy_per_query.value(),
+                );
+            }
+            match pick {
+                Some(best) => println!(
+                    "  cheapest design meeting availability >= 0.98: {}",
+                    best.design
+                ),
+                None => println!("  no design meets availability >= 0.98"),
+            }
+            let path = out_dir.join("availability_churn.json");
+            match report.write_json(&path) {
+                Ok(()) => println!("  -> {}", path.display()),
+                Err(err) => println!("  !! JSON write failed: {err}"),
+            }
+        }
+        Err(err) => println!("churn sweep failed: {err}"),
     }
 
     // ---- Figure 6: the single-node microbenchmark (not a cluster workload;

@@ -20,8 +20,9 @@ use eedc_core::{
     Traced, Workload,
 };
 use eedc_dbmsim::{
-    simulate_serving, ArrivalProcess, EngineBehaviour, FcfsScheduler, JoinShortestQueue,
-    RestartPolicy, ServiceProfile, ServingConfig, ServingServer,
+    simulate_serving, ArrivalProcess, EngineBehaviour, FaultModel, FcfsScheduler,
+    JoinShortestQueue, RecoveryPolicy, RestartPolicy, ScalePolicy, ServiceProfile, ServingConfig,
+    ServingServer, TransitionCost,
 };
 use eedc_netsim::{shuffle_flows, Fabric, TransferSimulator};
 use eedc_pstore::microbench::{single_node_hash_join, MicrobenchOptions};
@@ -485,6 +486,62 @@ pub fn register_serving(suite: &mut BenchSuite) {
         .warmup(1)
         .iterations(5),
     );
+
+    // The fault/lifecycle hot path: two pools under hazard failures with
+    // checkpoint recovery and an elastic scale policy over ~12k arrivals —
+    // every kill walks the in-flight set, every restore re-arms the hazard,
+    // and the depth check fires every 5 simulated seconds. Conservation is
+    // pinned inside the timed closure.
+    suite.register(
+        BenchCase::new("serving/churn_lifecycle_12k_arrivals", || {
+            let profile = Some(ServiceProfile {
+                time: Seconds(0.4),
+                energy: Joules(50.0),
+            });
+            let servers: Vec<ServingServer> = (0..2)
+                .map(|i| {
+                    ServingServer::new(format!("pool{i}"), Watts(100.0), vec![profile])
+                        .concurrency_limit(2)
+                        .nodes(4)
+                })
+                .collect();
+            let model = FaultModel::new(40.0)
+                .repair_time(Seconds(3.0))
+                .recovery(RecoveryPolicy::Checkpoint {
+                    interval: Seconds(0.1),
+                })
+                .restart_cost(TransitionCost {
+                    time: Seconds(0.5),
+                    energy: Joules(200.0),
+                })
+                .scale(
+                    ScalePolicy::new(6, 1, Seconds(5.0)).migration_cost(TransitionCost {
+                        time: Seconds(1.0),
+                        energy: Joules(100.0),
+                    }),
+                );
+            let config = ServingConfig::new(4.0, Seconds(3_000.0), 99)
+                .queue_capacity(usize::MAX)
+                .exponential_service()
+                .faults(model);
+            let result = simulate_serving(&servers, &config, &mut JoinShortestQueue)
+                // lint:allow(panic-policy): bench case must abort on an invalid run
+                .expect("serving run is valid");
+            assert!(result.arrivals >= 11_000, "got {}", result.arrivals);
+            assert!(result.failures > 0, "the hazard must fire");
+            assert!(result.availability > 0.0 && result.availability < 1.0);
+            assert_eq!(
+                result.completed
+                    + result.dropped
+                    + result.timed_out
+                    + (result.killed - result.readmitted),
+                result.arrivals,
+                "conservation violated"
+            );
+        })
+        .warmup(1)
+        .iterations(5),
+    );
 }
 
 #[cfg(test)]
@@ -500,8 +557,8 @@ mod tests {
         let names = suite.case_names();
         // 3 join strategies + 1 concurrency sweep + 5 Table 2 machines +
         // 3 substrates + 3 advisor grids + vertica + engine comparison +
-        // 6 serving cases.
-        assert_eq!(names.len(), 23);
+        // 7 serving cases.
+        assert_eq!(names.len(), 24);
         for group in [
             "pstore_joins/",
             "model_and_sweeps/",

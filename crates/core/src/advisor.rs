@@ -184,6 +184,34 @@ impl DesignSpaceReport {
             .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value())))
     }
 
+    /// The availability selection rule for churn sweeps: among feasible
+    /// designs whose simulated availability is at least `floor`, the one
+    /// with the lowest absolute energy. A record without fault statistics
+    /// ran fault-free and counts as availability 1.0. `None` when no
+    /// design clears the floor; an error when the records carry no serving
+    /// statistics at all (the report was not evaluated under the `Serving`
+    /// lens).
+    pub fn cheapest_meeting_availability(
+        &self,
+        floor: f64,
+    ) -> Result<Option<&RunRecord>, CoreError> {
+        if self.records.iter().all(|r| r.serving.is_none()) {
+            return Err(CoreError::invalid(
+                "cheapest_meeting_availability needs serving statistics — evaluate under the \
+                 Serving lens",
+            ));
+        }
+        Ok(self
+            .records
+            .iter()
+            .filter(|record| {
+                record.serving.as_ref().is_some_and(|stats| {
+                    stats.faults.as_ref().map_or(1.0, |f| f.availability) >= floor
+                })
+            })
+            .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value())))
+    }
+
     /// The Section 6 selection rule: among feasible designs whose normalized
     /// performance is at least `min_performance`, the one with the lowest
     /// normalized energy.
@@ -297,6 +325,20 @@ impl DesignAdvisor {
     ) -> Result<Option<RunRecord>, CoreError> {
         let report = self.evaluate_designs(designs)?;
         Ok(report.cheapest_meeting_p99(floor)?.cloned())
+    }
+
+    /// The availability objective for churn sweeps: evaluate the candidate
+    /// designs under the advisor's estimator (a `Serving` lens whose
+    /// workload carries a fault model) and return the lowest-energy design
+    /// whose simulated availability is at least `floor`. `None` when no
+    /// design clears the floor.
+    pub fn cheapest_meeting_availability(
+        &self,
+        designs: &[ClusterSpec],
+        floor: f64,
+    ) -> Result<Option<RunRecord>, CoreError> {
+        let report = self.evaluate_designs(designs)?;
+        Ok(report.cheapest_meeting_availability(floor)?.cloned())
     }
 
     /// Evaluate `space` and apply the Section 6 selection rule for
@@ -502,6 +544,88 @@ mod tests {
         assert!(err.to_string().contains("Serving"), "{err}");
         // And an empty design list is rejected up front.
         assert!(advisor.evaluate_designs(&[]).is_err());
+    }
+
+    #[test]
+    fn cheapest_meeting_availability_agrees_with_brute_force() {
+        use crate::experiment::{Analytical, Serving};
+        use crate::workload::ServingWorkload;
+        use eedc_dbmsim::FaultModel;
+        use eedc_simkit::units::Seconds;
+
+        // Three homogeneous designs under a per-node hazard rate: larger
+        // fleets fail more often (lower availability) but serve faster, so
+        // an availability floor slices the sweep. The rate is expressed in
+        // failures per node-hour such that even the 4-node design expects a
+        // couple of dozen failures over the window.
+        let sweep = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+        let designs: Vec<ClusterSpec> = [16, 8, 4]
+            .map(|n| ClusterSpec::homogeneous(cluster_v_node(), n).unwrap())
+            .to_vec();
+        let slowest = Analytical
+            .estimate(&sweep.plans()[0], &designs[2])
+            .unwrap()
+            .response_time
+            .value();
+        let window = Seconds(200.0 * slowest);
+        let rate = 20.0 * 3_600.0 / (4.0 * window.value());
+        let model = FaultModel::new(rate).repair_time(Seconds(0.2 * slowest));
+        let workload =
+            ServingWorkload::new(&sweep, 0.2 / slowest, window, 2_024).with_faults(model);
+        let advisor = DesignAdvisor::new(Serving::fcfs(), &workload);
+        let report = advisor.evaluate_designs(&designs).unwrap();
+        assert_eq!(report.records.len(), 3);
+        let avail_of = |record: &RunRecord| {
+            record
+                .serving
+                .as_ref()
+                .unwrap()
+                .faults
+                .as_ref()
+                .expect("churned records carry fault stats")
+                .availability
+        };
+        let availabilities: Vec<f64> = report.records.iter().map(&avail_of).collect();
+        assert!(availabilities.iter().all(|&a| a > 0.0 && a < 1.0));
+        let lo = availabilities.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let hi = availabilities.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(lo < hi, "the hazard must bite the designs differently");
+
+        // A floor strictly between the worst and best availability: at
+        // least one design qualifies and at least one is excluded. The
+        // method's pick must equal the brute-force minimum-energy design
+        // among the qualifiers.
+        let floor = (lo + hi) / 2.0;
+        let brute = report
+            .records
+            .iter()
+            .filter(|r| avail_of(r) >= floor)
+            .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value()))
+            .expect("the best-availability design qualifies");
+        let pick = report
+            .cheapest_meeting_availability(floor)
+            .unwrap()
+            .expect("at least one design clears the floor");
+        assert_eq!(pick.design, brute.design);
+        assert_eq!(pick.energy, brute.energy);
+        // The one-call advisor objective agrees with the report method.
+        let direct = advisor
+            .cheapest_meeting_availability(&designs, floor)
+            .unwrap()
+            .unwrap();
+        assert_eq!(direct.design, pick.design);
+
+        // An unreachable floor yields no design; a non-serving estimator is
+        // a caller error, not an empty answer.
+        assert!(report
+            .cheapest_meeting_availability(1.01)
+            .unwrap()
+            .is_none());
+        let plain = DesignAdvisor::new(Analytical, &sweep);
+        let err = plain
+            .cheapest_meeting_availability(&designs, floor)
+            .unwrap_err();
+        assert!(err.to_string().contains("Serving"), "{err}");
     }
 
     #[test]

@@ -43,11 +43,12 @@
 use crate::error::CoreError;
 use crate::json::JsonValue;
 use crate::model::{AnalyticalModel, ModelPrediction, PhasePrediction};
-use crate::workload::{Workload, WorkloadPlan};
+use crate::workload::{ServingParams, Workload, WorkloadPlan};
 use eedc_dbmsim::{
     busy_share_from_utilization, replay, simulate_serving, BehaviouralModel, BusyShares,
-    EnergyAwareScheduler, EngineBehaviour, FcfsScheduler, JoinShortestQueue, PowerOfTwoChoices,
-    ReplayPhase, Scheduler, ServiceProfile, ServingConfig, ServingServer, UtilizationTrace,
+    EnergyAwareScheduler, EngineBehaviour, FaultModel, FcfsScheduler, JoinShortestQueue,
+    PowerOfTwoChoices, ReplayPhase, Scheduler, ServiceProfile, ServingConfig, ServingServer,
+    TransitionCost, UtilizationTrace,
 };
 use eedc_pstore::stats::{Bottleneck, ExecutionMode, PhaseStats, QueryExecution};
 use eedc_pstore::{
@@ -193,12 +194,74 @@ pub struct ServingStats {
     /// High-water mark of each pool's own queue (waiting only); empty for
     /// pre-queue-depth reports.
     pub pool_max_queued: Vec<usize>,
+    /// Availability and lifecycle accounting — present only when the run
+    /// carried an active [`FaultModel`], so
+    /// fault-free reports keep their pre-fault byte shape.
+    pub faults: Option<FaultStats>,
+}
+
+/// Fault-injection and cluster-lifecycle accounting of one serving run:
+/// what failed, what the failures cost, and how the elastic policy moved
+/// the fleet. Rides inside [`ServingStats`] only when the run's
+/// [`FaultModel`] actually did something.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStats {
+    /// Fraction of pool-time not lost to failures (repair + warm-up);
+    /// deliberate parking by the scale policy does not count against it.
+    pub availability: f64,
+    /// Pool-down events (hazard draws plus scripted outages) that fired.
+    pub failures: usize,
+    /// In-flight queries killed by a pool failure.
+    pub killed: usize,
+    /// Killed queries re-admitted under the recovery policy.
+    pub readmitted: usize,
+    /// Parked pools revived by the scale policy.
+    pub scale_out_events: usize,
+    /// Idle pools parked by the scale policy.
+    pub scale_in_events: usize,
+    /// Summed pool-seconds lost to repair and restart warm-up.
+    pub fault_downtime: Seconds,
+    /// Energy billed to restarts and scale migrations (data movement).
+    pub overhead_energy: Joules,
+}
+
+impl FaultStats {
+    /// Render the stats as a JSON object (nested under the serving
+    /// object's `"faults"` key).
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("availability", self.availability)
+            .set("failures", self.failures)
+            .set("killed", self.killed)
+            .set("readmitted", self.readmitted)
+            .set("scale_out_events", self.scale_out_events)
+            .set("scale_in_events", self.scale_in_events)
+            .set("fault_downtime_s", self.fault_downtime.value())
+            .set("overhead_energy_j", self.overhead_energy.value());
+        obj
+    }
+
+    /// Reconstruct the stats from the shape [`to_json`](Self::to_json)
+    /// emits.
+    pub fn from_json(value: &JsonValue) -> Result<Self, CoreError> {
+        Ok(Self {
+            availability: value.f64_field("availability")?,
+            failures: value.usize_field("failures")?,
+            killed: value.usize_field("killed")?,
+            readmitted: value.usize_field("readmitted")?,
+            scale_out_events: value.usize_field("scale_out_events")?,
+            scale_in_events: value.usize_field("scale_in_events")?,
+            fault_downtime: Seconds(value.f64_field("fault_downtime_s")?),
+            overhead_energy: Joules(value.f64_field("overhead_energy_j")?),
+        })
+    }
 }
 
 impl ServingStats {
-    /// Render the stats as a JSON object. The PR 9 fields (`arrival`, the
-    /// queue-depth vectors) are emitted only when present, so stats read
-    /// from an older report re-write byte-identically.
+    /// Render the stats as a JSON object. The later-vintage fields
+    /// (`arrival`, the queue-depth vectors, the nested `faults` object) are
+    /// emitted only when present, so stats read from an older report
+    /// re-write byte-identically.
     pub fn to_json(&self) -> JsonValue {
         let mut obj = JsonValue::object();
         obj.set("scheduler", self.scheduler.clone());
@@ -223,6 +286,9 @@ impl ServingStats {
         }
         if !self.pool_max_queued.is_empty() {
             obj.set("pool_max_queued", self.pool_max_queued.clone());
+        }
+        if let Some(faults) = &self.faults {
+            obj.set("faults", faults.to_json());
         }
         obj
     }
@@ -275,6 +341,10 @@ impl ServingStats {
                 .into_iter()
                 .map(|n| n as usize)
                 .collect(),
+            faults: match value.get("faults") {
+                None | Some(JsonValue::Null) => None,
+                Some(stats) => Some(FaultStats::from_json(stats)?),
+            },
         })
     }
 }
@@ -973,7 +1043,7 @@ fn record_from_replay_phase(phase: &ReplayPhase) -> PhaseRecord {
     }
 }
 
-/// The serving lens: run the plan's [`ServingParams`](crate::ServingParams) through the
+/// The serving lens: run the plan's [`ServingParams`] through the
 /// discrete-event serving simulator (`eedc_dbmsim::serving`) on the
 /// `eedc-simkit` event kernel — the fifth lens, and the only one that can
 /// answer *service* questions: latency percentiles under sustained load,
@@ -1126,6 +1196,32 @@ impl Serving {
             })
             .collect()
     }
+
+    /// Data-movement cost of one elastic scale transition under the
+    /// port-volume model: the largest template's working set (build +
+    /// probe bytes) is repartitioned evenly across the design's NICs, the
+    /// move takes as long as the slowest port needs for its share, and
+    /// each node's floor power burns for its own transfer time.
+    fn derived_migration_cost(params: &ServingParams, design: &ClusterSpec) -> TransitionCost {
+        let mut working_set = Megabytes(0.0);
+        for template in &params.templates {
+            let volume = template.sweep.build_bytes + template.sweep.probe_bytes;
+            if volume.value() > working_set.value() {
+                working_set = volume;
+            }
+        }
+        let share = working_set / design.len() as f64;
+        let mut time = Seconds(0.0);
+        let mut energy = Joules::zero();
+        for node in design.nodes() {
+            let port = share / node.network_bandwidth;
+            if port.value() > time.value() {
+                time = port;
+            }
+            energy += node.idle_power * port;
+        }
+        TransitionCost { time, energy }
+    }
 }
 
 impl Estimator for Serving {
@@ -1196,7 +1292,8 @@ impl Estimator for Serving {
                     .map(|&id| design.nodes()[id].idle_power)
                     .sum::<Watts>();
                 let mut server = ServingServer::new(label, idle_power, profiles)
-                    .concurrency_limit(params.pool_concurrency);
+                    .concurrency_limit(params.pool_concurrency)
+                    .nodes(ids.len());
                 if params.processor_sharing {
                     server = server.processor_sharing();
                 }
@@ -1214,6 +1311,18 @@ impl Estimator for Serving {
             }
         }
 
+        // An active fault model rides into the simulator as-is, except that
+        // a scale policy carrying no explicit migration cost gets one
+        // derived from the design's port-volume model.
+        let faults: Option<FaultModel> = params.faults.clone().map(|mut model| {
+            if let Some(scale) = &mut model.scale {
+                if scale.migration.is_none() {
+                    scale.migration = Some(Self::derived_migration_cost(params, design));
+                }
+            }
+            model
+        });
+        let churned = faults.as_ref().is_some_and(|model| !model.is_inert());
         let config = ServingConfig {
             arrival: params.arrival.clone(),
             duration: params.duration,
@@ -1222,6 +1331,7 @@ impl Estimator for Serving {
             max_wait: params.max_wait,
             seed: params.seed,
             service: eedc_dbmsim::ServiceDistribution::Deterministic,
+            faults,
         };
         let mut scheduler: Box<dyn Scheduler> = match self.policy {
             ServingPolicy::Fcfs => Box::new(FcfsScheduler),
@@ -1262,6 +1372,16 @@ impl Estimator for Serving {
             energy_per_query: result.energy_per_query(),
             pool_mean_depth: result.pool_mean_depth.clone(),
             pool_max_queued: result.pool_max_queued.clone(),
+            faults: churned.then_some(FaultStats {
+                availability: result.availability,
+                failures: result.failures,
+                killed: result.killed,
+                readmitted: result.readmitted,
+                scale_out_events: result.scale_out_events,
+                scale_in_events: result.scale_in_events,
+                fault_downtime: result.fault_downtime,
+                overhead_energy: result.overhead_energy,
+            }),
         };
         Ok(RunRecord {
             workload: plan.label.clone(),
@@ -2341,6 +2461,119 @@ mod tests {
             restored.to_json().to_json_pretty(),
             old_json,
             "pre-PR 9 serving stats re-serialize byte-identically"
+        );
+    }
+
+    #[test]
+    fn serving_lens_reports_fault_stats_and_inert_models_stay_byte_compatible() {
+        use eedc_dbmsim::FaultModel;
+
+        // One arrival at t = 0, a scripted outage halfway through its
+        // service: the query is killed, replayed, and the record's nested
+        // fault stats account for the lost pool-time.
+        let design = homogeneous(16);
+        let solo = Analytical
+            .estimate(&sweep().plans()[0], &design)
+            .unwrap()
+            .response_time
+            .value();
+        let window = Seconds(20.0 * solo);
+        let model =
+            FaultModel::scripted(Vec::new()).outage(0, Seconds(0.5 * solo), Seconds(2.0 * solo));
+        let churned = ServingWorkload::new(&sweep(), 1.0, window, 31)
+            .trace_arrivals([Seconds(0.0)])
+            .with_faults(model);
+        let report = Experiment::new(&churned)
+            .designs([design.clone()])
+            .estimator(Serving::fcfs())
+            .run()
+            .unwrap();
+        let stats = report.series[0].records[0].serving.as_ref().unwrap();
+        let faults = stats
+            .faults
+            .as_ref()
+            .expect("a churned run reports fault stats");
+        assert_eq!(faults.failures, 1);
+        assert_eq!(faults.killed, 1);
+        assert_eq!(faults.readmitted, 1);
+        assert_eq!(stats.completed, 1, "the replayed query still completes");
+        assert!(
+            faults.availability > 0.0 && faults.availability < 1.0,
+            "outage downtime must dent availability: {}",
+            faults.availability
+        );
+        assert!(faults.fault_downtime.value() > 0.0);
+        // The nested "faults" object round-trips bit-for-bit.
+        let json = report.to_json_string();
+        assert!(json.contains("\"faults\""), "{json}");
+        assert!(json.contains("\"availability\""), "{json}");
+        let restored = ExperimentReport::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(restored, report);
+        assert_eq!(restored.to_json_string(), json, "bit-equal re-write");
+
+        // An inert model is invisible: the whole report — including its
+        // JSON bytes — matches a fault-free run, and the "faults" key is
+        // never emitted.
+        let bare = ServingWorkload::new(&sweep(), 0.002, Seconds(50_000.0), 31);
+        let inert = ServingWorkload::new(&sweep(), 0.002, Seconds(50_000.0), 31)
+            .with_faults(FaultModel::new(0.0));
+        let run = |workload: &ServingWorkload| {
+            Experiment::new(workload)
+                .designs([design.clone()])
+                .estimator(Serving::fcfs())
+                .run()
+                .unwrap()
+        };
+        let bare_json = run(&bare).to_json_string();
+        assert_eq!(bare_json, run(&inert).to_json_string());
+        assert!(!bare_json.contains("\"faults\""), "inert runs omit the key");
+    }
+
+    #[test]
+    fn serving_lens_derives_migration_cost_and_parks_idle_pools() {
+        use eedc_dbmsim::{FaultModel, ScalePolicy};
+
+        // A two-pool heterogeneous design under near-zero load with a scale
+        // policy that carries no explicit migration cost: the lens derives
+        // one from the port-volume model, and the elastic policy parks the
+        // idle pool — visible as scale-in events and a cheaper run.
+        let mut small = sweep();
+        small.build_bytes = Megabytes(2_000.0);
+        small.probe_bytes = Megabytes(8_000.0);
+        let design = ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 4).unwrap();
+        let solo = Analytical
+            .estimate(
+                &small.plans()[0],
+                &ClusterSpec::homogeneous(laptop_b(), 4).unwrap(),
+            )
+            .unwrap()
+            .response_time
+            .value();
+        let window = Seconds(400.0 * solo);
+        let base = ServingWorkload::new(&small, 0.01 / solo, window, 13).queue_capacity(256);
+        let elastic = base
+            .clone()
+            .with_faults(FaultModel::new(0.0).scale(ScalePolicy::new(8, 1, Seconds(solo))));
+        let run = |workload: &ServingWorkload| {
+            Experiment::new(workload)
+                .designs([design.clone()])
+                .estimator(Serving::fcfs())
+                .run()
+                .unwrap()
+        };
+        let still = run(&base);
+        let scaled = run(&elastic);
+        let record = &scaled.series[0].records[0];
+        let faults = record.serving.as_ref().unwrap().faults.as_ref().unwrap();
+        assert!(faults.scale_in_events > 0, "an idle pool must park");
+        assert_eq!(faults.failures, 0);
+        assert_eq!(
+            faults.availability, 1.0,
+            "deliberate parking is not downtime"
+        );
+        assert!(
+            record.energy < still.series[0].records[0].energy,
+            "parking an idle pool must save energy"
         );
     }
 

@@ -47,8 +47,8 @@ pub mod workload;
 pub use advisor::{DesignAdvisor, DesignSpace, DesignSpaceReport, Recommendation};
 pub use error::CoreError;
 pub use experiment::{
-    Analytical, Behavioural, Estimator, Experiment, ExperimentReport, Measured, PhaseRecord,
-    RunRecord, RunSeries, Serving, ServingStats, Traced,
+    Analytical, Behavioural, Estimator, Experiment, ExperimentReport, FaultStats, Measured,
+    PhaseRecord, RunRecord, RunSeries, Serving, ServingStats, Traced,
 };
 pub use json::JsonValue;
 pub use model::{AnalyticalModel, ModelPrediction, PhasePrediction, SweepJoin};
@@ -56,9 +56,13 @@ pub use workload::{
     ConcurrencySweep, ProfiledQuery, ServingParams, ServingWorkload, SkewedJoin, Workload,
     WorkloadPlan,
 };
-// The serving arrival law rides inside `ServingParams`; re-export it so
-// callers can build trace/ramp workloads without naming `eedc_dbmsim`.
-pub use eedc_dbmsim::{ArrivalProcess, RampSegment};
+// The serving arrival law and the fault/lifecycle model ride inside
+// `ServingParams`; re-export them so callers can build trace/ramp/churn
+// workloads without naming `eedc_dbmsim`.
+pub use eedc_dbmsim::{
+    ArrivalProcess, FaultModel, FaultOutage, RampSegment, RecoveryPolicy, ScalePolicy,
+    TransitionCost,
+};
 
 pub mod params {
     //! Published parameters of the Section 5.4 model sweeps.

@@ -19,7 +19,7 @@
 //!   SF-1000 scale-down studies of Figures 1–2.
 
 use crate::model::SweepJoin;
-use eedc_dbmsim::{ArrivalProcess, RampSegment};
+use eedc_dbmsim::{ArrivalProcess, FaultModel, RampSegment};
 use eedc_pstore::{JoinQuerySpec, JoinSkew, JoinStrategy, RunOptions};
 use eedc_simkit::units::Seconds;
 use eedc_tpch::{QueryId, QueryProfile, ScaleFactor, TpchTable};
@@ -89,6 +89,11 @@ pub struct ServingParams {
     /// (M/M/1-PS) instead of granting dedicated slots (M/M/c). Sharing
     /// itself models the contention, so profiles are then priced solo.
     pub processor_sharing: bool,
+    /// Fault-injection and lifecycle model the `Serving` lens runs the
+    /// stream under; `None` (or an inert model) keeps every pool up. When
+    /// the model's scale policy carries no explicit migration cost, the
+    /// lens derives one from the port-volume model of the design.
+    pub faults: Option<FaultModel>,
     /// The query templates arrivals draw from, in Zipf-weight order (the
     /// templates themselves carry no serving parameters).
     pub templates: Vec<WorkloadPlan>,
@@ -372,6 +377,7 @@ pub struct ServingWorkload {
     seed: u64,
     pool_concurrency: usize,
     processor_sharing: bool,
+    faults: Option<FaultModel>,
 }
 
 impl ServingWorkload {
@@ -399,7 +405,18 @@ impl ServingWorkload {
             seed,
             pool_concurrency: 1,
             processor_sharing: false,
+            faults: None,
         }
+    }
+
+    /// Serve the stream under a fault-injection and lifecycle model:
+    /// hazard and scripted failures, kill/recovery of in-flight queries,
+    /// and optional queue-depth elastic scaling. The `Serving` lens then
+    /// reports availability, kill/re-admission counts, and lifecycle
+    /// overhead next to the usual latency and energy figures.
+    pub fn with_faults(mut self, model: FaultModel) -> Self {
+        self.faults = Some(model);
+        self
     }
 
     /// Replace the single QPS level with a sweep (one plan per level).
@@ -491,6 +508,7 @@ impl Workload for ServingWorkload {
             seed: self.seed,
             pool_concurrency: self.pool_concurrency,
             processor_sharing: self.processor_sharing,
+            faults: self.faults.clone(),
             templates: self.templates.clone(),
         };
         // The plan's own sweep/query/strategy mirror the first template, so

@@ -70,12 +70,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engines;
+pub mod faults;
 pub mod replay;
 pub mod scaling;
 pub mod serving;
 pub mod trace;
 
 pub use engines::{EngineBehaviour, RestartPolicy};
+pub use faults::{FaultModel, FaultOutage, RecoveryPolicy, ScalePolicy, TransitionCost};
 pub use replay::{replay, ReplayPhase, ReplayResult};
 pub use scaling::{BehaviouralModel, BehaviouralPrediction};
 pub use serving::{

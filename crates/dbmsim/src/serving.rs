@@ -39,7 +39,19 @@
 //! against closed forms — Erlang-C for M/M/c waits, the M/M/1-PS sojourn
 //! insensitivity, po2-beats-random — in
 //! `crates/dbmsim/tests/queueing_validation.rs`.
+//!
+//! Fault injection and elastic lifecycle live in [`crate::faults`]: attach a
+//! [`FaultModel`] via [`ServingConfig::faults`] and the engine schedules
+//! node-down / node-up events — in-flight queries on a failed pool are
+//! killed and dropped, replayed, or checkpoint-resumed per
+//! [`RecoveryPolicy`](crate::faults::RecoveryPolicy); restart energy and
+//! warm-up time are billed to the run; and a queue-depth
+//! [`ScalePolicy`](crate::faults::ScalePolicy) parks and revives whole
+//! pools mid-run, billing data movement per transition. An inert model
+//! ([`FaultModel::is_inert`]) schedules no events and consumes no RNG
+//! draws, so fault-free results stay bit-identical.
 
+use crate::faults::{FaultModel, PoolLifecycle, TransitionCost};
 use eedc_simkit::error::SimError;
 use eedc_simkit::sim::{EventHandler, Simulation};
 use eedc_simkit::units::{Joules, Seconds, Watts};
@@ -90,6 +102,9 @@ pub struct ServingServer {
     pub concurrency_limit: usize,
     /// Dedicated slots or processor sharing across the in-flight set.
     pub mode: ServiceMode,
+    /// Physical nodes backing the pool — the pool fails when its first node
+    /// does, so this scales the hazard rate of a [`FaultModel`].
+    pub nodes: usize,
 }
 
 impl ServingServer {
@@ -105,12 +120,20 @@ impl ServingServer {
             profiles,
             concurrency_limit: 1,
             mode: ServiceMode::Dedicated,
+            nodes: 1,
         }
     }
 
     /// Serve up to `limit` queries at once (dedicated slots by default).
     pub fn concurrency_limit(mut self, limit: usize) -> Self {
         self.concurrency_limit = limit;
+        self
+    }
+
+    /// Set the physical node count backing the pool (scales the hazard
+    /// failure rate; defaults to one).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
         self
     }
 
@@ -285,6 +308,9 @@ pub struct ServingConfig {
     pub seed: u64,
     /// Service-time law.
     pub service: ServiceDistribution,
+    /// Fault-injection and lifecycle model; `None` (or an inert model)
+    /// keeps every pool online for the whole run.
+    pub faults: Option<FaultModel>,
 }
 
 impl ServingConfig {
@@ -299,6 +325,7 @@ impl ServingConfig {
             max_wait: None,
             seed,
             service: ServiceDistribution::Deterministic,
+            faults: None,
         }
     }
 
@@ -331,6 +358,12 @@ impl ServingConfig {
         self.service = ServiceDistribution::Exponential;
         self
     }
+
+    /// Attach a fault-injection and lifecycle model.
+    pub fn faults(mut self, model: FaultModel) -> Self {
+        self.faults = Some(model);
+        self
+    }
 }
 
 /// Read-only queue state of one pool at placement time.
@@ -340,8 +373,11 @@ pub struct PoolView {
     pub in_flight: usize,
     /// Queries waiting in the pool's own queue.
     pub queued: usize,
-    /// Service slots currently free (`0` for a full pool).
+    /// Service slots currently free (`0` for a full — or offline — pool).
     pub free_slots: usize,
+    /// Whether the pool is serving. Failed and parked pools read offline;
+    /// committing to one sends the query to the central queue instead.
+    pub online: bool,
 }
 
 impl PoolView {
@@ -390,7 +426,8 @@ impl Scheduler for FcfsScheduler {
         pools: &[PoolView],
         _draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
-        (0..servers.len()).find(|&s| pools[s].free_slots > 0 && servers[s].can_serve(template))
+        (0..servers.len())
+            .find(|&s| pools[s].online && pools[s].free_slots > 0 && servers[s].can_serve(template))
     }
 }
 
@@ -414,7 +451,9 @@ impl Scheduler for EnergyAwareScheduler {
         _draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
         (0..servers.len())
-            .filter(|&s| pools[s].free_slots > 0 && servers[s].can_serve(template))
+            .filter(|&s| {
+                pools[s].online && pools[s].free_slots > 0 && servers[s].can_serve(template)
+            })
             .min_by(|&a, &b| {
                 let energy = |s: usize| {
                     servers[s].profiles[template]
@@ -445,7 +484,7 @@ impl Scheduler for JoinShortestQueue {
         _draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
         (0..servers.len())
-            .filter(|&s| servers[s].can_serve(template))
+            .filter(|&s| pools[s].online && servers[s].can_serve(template))
             .min_by_key(|&s| (pools[s].depth(), s))
     }
 }
@@ -471,7 +510,7 @@ impl Scheduler for PowerOfTwoChoices {
         draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
         let capable: Vec<usize> = (0..servers.len())
-            .filter(|&s| servers[s].can_serve(template))
+            .filter(|&s| pools[s].online && servers[s].can_serve(template))
             .collect();
         match capable.len() {
             0 => None,
@@ -504,11 +543,11 @@ impl Scheduler for RandomScheduler {
         &mut self,
         template: usize,
         servers: &[ServingServer],
-        _pools: &[PoolView],
+        pools: &[PoolView],
         draw: &mut dyn FnMut() -> f64,
     ) -> Option<usize> {
         let capable: Vec<usize> = (0..servers.len())
-            .filter(|&s| servers[s].can_serve(template))
+            .filter(|&s| pools[s].online && servers[s].can_serve(template))
             .collect();
         match capable.len() {
             0 => None,
@@ -541,20 +580,47 @@ pub struct ServingResult {
     pub arrivals: usize,
     /// Queries that completed service.
     pub completed: usize,
-    /// Arrivals rejected because the shared waiting room was full.
+    /// Arrivals rejected because the shared waiting room was full (plus any
+    /// queries stranded in a queue when the run ended — possible only under
+    /// fault churn).
     pub dropped: usize,
     /// Queued queries abandoned after waiting longer than `max_wait`.
     pub timed_out: usize,
+    /// Pool failures (hazard plus scripted) during the run.
+    pub failures: usize,
+    /// In-flight queries killed by pool failures.
+    pub killed: usize,
+    /// Killed queries re-admitted per the recovery policy. The conservation
+    /// invariant: `arrivals = completed + dropped + timed_out +
+    /// (killed - readmitted)`.
+    pub readmitted: usize,
+    /// Pools revived by the scale policy.
+    pub scale_out_events: usize,
+    /// Pools parked by the scale policy.
+    pub scale_in_events: usize,
+    /// Summed pool-seconds lost to failures (repair plus warm-up).
+    pub fault_downtime: Seconds,
+    /// Summed pool-seconds deliberately parked by the scale policy
+    /// (excluded from the availability metric).
+    pub parked_time: Seconds,
+    /// Fraction of pool-time the cluster was available:
+    /// `1 − fault_downtime / (makespan × pools)`.
+    pub availability: f64,
     /// Completed-query latencies (arrival → completion), sorted ascending.
     pub latencies: Vec<f64>,
     /// Mean time admitted queries waited before service started.
     pub mean_wait: Seconds,
-    /// Total energy over the makespan: query energy plus idle power.
+    /// Total energy over the makespan: query energy plus idle power plus
+    /// lifecycle overhead (restarts and migrations).
     pub energy: Joules,
     /// Energy attributed to query execution.
     pub query_energy: Joules,
-    /// Energy burned idling between queries.
+    /// Energy burned idling between queries (unpowered repair and parked
+    /// spans are not metered).
     pub idle_energy: Joules,
+    /// Energy billed to lifecycle transitions: restart energy per recovery
+    /// and data movement per scale transition.
+    pub overhead_energy: Joules,
     /// Per-server busy time: summed per-slot service time for dedicated
     /// pools, wall-clock non-empty time for processor-sharing pools.
     pub server_busy: Vec<Seconds>,
@@ -674,12 +740,33 @@ enum ServingEvent {
         server: usize,
         epoch: u64,
     },
+    /// A hazard failure drawn from the fault model; stale lifecycle epochs
+    /// (the pool transitioned since the draw) are ignored.
+    HazardFailure {
+        server: usize,
+        epoch: u64,
+    },
+    /// A scripted outage from the fault trace (index into
+    /// [`FaultModel::trace`]); ignored when the pool is already offline.
+    ScriptedOutage {
+        outage: usize,
+    },
+    /// The pool finishes repair + warm-up (or migration) and rejoins.
+    PoolRestore {
+        server: usize,
+        epoch: u64,
+    },
+    /// Periodic queue-depth check of the elastic scale policy.
+    ScaleCheck,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Queued {
     arrival: f64,
     template: usize,
+    /// Fraction of the work already checkpointed before a kill (`0.0` for a
+    /// fresh arrival); service starts at the residual requirement.
+    progress: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -691,6 +778,14 @@ struct InFlight {
     /// for processor-sharing pools; unused for dedicated slots, whose
     /// completion instants are fixed at start).
     remaining: f64,
+    /// Residual service requirement drawn at start (after checkpointed
+    /// progress was deducted).
+    service: f64,
+    /// Instant service started (kill accounting for dedicated slots).
+    started: f64,
+    /// Checkpointed fraction of the *original* requirement carried in from
+    /// earlier kills.
+    progress: f64,
 }
 
 /// Per-pool runtime state: the in-flight set, the pool's own queue, and the
@@ -704,6 +799,9 @@ struct Pool {
     advanced_at: f64,
     busy: f64,
     query_energy: f64,
+    /// Lifecycle overhead billed to this pool: restart energy per recovery
+    /// and migration energy per scale transition.
+    overhead: f64,
     completed: usize,
     max_queued: usize,
     depth_integral: f64,
@@ -719,6 +817,7 @@ impl Pool {
             advanced_at: 0.0,
             busy: 0.0,
             query_energy: 0.0,
+            overhead: 0.0,
             completed: 0,
             max_queued: 0,
             depth_integral: 0.0,
@@ -764,6 +863,12 @@ struct ServingEngine<'a> {
     servers: &'a [ServingServer],
     scheduler: &'a mut dyn Scheduler,
     config: &'a ServingConfig,
+    /// The active fault model (`None` when absent or inert — the engine
+    /// then schedules no lifecycle events and consumes no extra draws).
+    faults: Option<&'a FaultModel>,
+    /// Per-pool lifecycle state machines (all trivially online without an
+    /// active fault model).
+    life: Vec<PoolLifecycle>,
     /// Cumulative Zipf weights over templates, last entry 1.0.
     template_cdf: Vec<f64>,
     /// Cursor into a trace's arrival instants.
@@ -776,6 +881,11 @@ struct ServingEngine<'a> {
     arrivals: usize,
     dropped: usize,
     timed_out: usize,
+    failures: usize,
+    killed: usize,
+    readmitted: usize,
+    scale_out_events: usize,
+    scale_in_events: usize,
     latencies: Vec<f64>,
     wait_sum: f64,
     wait_count: usize,
@@ -859,13 +969,18 @@ impl ServingEngine<'_> {
         let profile = self.servers[server].profiles[query.template]
             // lint:allow(panic-policy): scheduler contract — place() must return a capable pool; the shipped policies are property-tested for it
             .expect("scheduler placed an unservable template");
-        let service = match self.config.service {
+        let mut service = match self.config.service {
             ServiceDistribution::Deterministic => profile.time.value(),
             ServiceDistribution::Exponential => sim
                 .sample_exponential(profile.time.value())
                 // lint:allow(panic-policy): profile times were validated finite-positive by simulate_serving
                 .expect("profile times are validated positive"),
         };
+        // Checkpoint recovery: a killed query resumes at its residual
+        // requirement (the guard keeps the fault-free arithmetic untouched).
+        if query.progress > 0.0 {
+            service *= 1.0 - query.progress;
+        }
         // Energy scales with actual service requirement, so exponential
         // draws keep the profile's mean power.
         let energy = profile.energy.value() * (service / profile.time.value());
@@ -884,6 +999,9 @@ impl ServingEngine<'_> {
                     arrival: query.arrival,
                     template: query.template,
                     remaining: 0.0,
+                    service,
+                    started: now,
+                    progress: query.progress,
                 });
                 sim.schedule_in(service, ServingEvent::Completion { server, query: id })
                     // lint:allow(panic-policy): service times are finite and non-negative by construction
@@ -896,6 +1014,9 @@ impl ServingEngine<'_> {
                     arrival: query.arrival,
                     template: query.template,
                     remaining: service,
+                    service,
+                    started: now,
+                    progress: query.progress,
                 });
                 self.reschedule_ps(sim, server);
             }
@@ -954,12 +1075,21 @@ impl ServingEngine<'_> {
             .pools
             .iter()
             .zip(self.servers)
-            .map(|(pool, server)| PoolView {
-                in_flight: pool.in_flight.len(),
-                queued: pool.queue.len(),
-                free_slots: server
-                    .concurrency_limit
-                    .saturating_sub(pool.in_flight.len()),
+            .zip(&self.life)
+            .map(|((pool, server), life)| {
+                let online = life.online();
+                PoolView {
+                    in_flight: pool.in_flight.len(),
+                    queued: pool.queue.len(),
+                    free_slots: if online {
+                        server
+                            .concurrency_limit
+                            .saturating_sub(pool.in_flight.len())
+                    } else {
+                        0
+                    },
+                    online,
+                }
             })
             .collect();
         let placed = {
@@ -969,13 +1099,17 @@ impl ServingEngine<'_> {
         };
         match placed {
             Some(server) if views[server].free_slots > 0 => self.start(sim, server, query, now),
-            Some(server) if self.total_waiting() < self.config.queue_capacity => {
+            Some(server)
+                if views[server].online && self.total_waiting() < self.config.queue_capacity =>
+            {
                 let pool = &mut self.pools[server];
                 pool.note_depth(now);
                 pool.queue.push_back(query);
                 pool.max_queued = pool.max_queued.max(pool.queue.len());
             }
-            None if self.total_waiting() < self.config.queue_capacity => {
+            // A commitment to an offline pool falls back to the central
+            // queue — the first pool to free a capable slot takes it.
+            Some(_) | None if self.total_waiting() < self.config.queue_capacity => {
                 self.note_central_depth(now);
                 self.central.push_back(query);
             }
@@ -986,6 +1120,9 @@ impl ServingEngine<'_> {
     /// Fill every free slot of `server` from its own queue first, then from
     /// the oldest capable entry of the central queue.
     fn refill(&mut self, sim: &mut Simulation<ServingEvent>, server: usize, now: f64) {
+        if !self.life[server].online() {
+            return;
+        }
         while self.pools[server].in_flight.len() < self.servers[server].concurrency_limit {
             let pool = &mut self.pools[server];
             if let Some(query) = pool.queue.front().copied() {
@@ -1007,6 +1144,164 @@ impl ServingEngine<'_> {
             self.start(sim, server, query, now);
         }
     }
+
+    /// Draw a time-to-failure for `server` from the seeded RNG and schedule
+    /// the hazard event if it lands inside the arrival window (armed once
+    /// per online episode, so one draw per up-transition).
+    fn arm_hazard(&mut self, sim: &mut Simulation<ServingEvent>, server: usize, now: f64) {
+        let Some(model) = self.faults else {
+            return;
+        };
+        let Some(mean) = model.hazard_mean(self.servers[server].nodes) else {
+            return;
+        };
+        let ttf = sim
+            .sample_exponential(mean)
+            // lint:allow(panic-policy): hazard_mean only yields finite positive means
+            .expect("hazard mean is positive");
+        let at = now + ttf;
+        if at < self.config.duration.value() {
+            let epoch = self.life[server].epoch;
+            sim.schedule_at(at, ServingEvent::HazardFailure { server, epoch })
+                // lint:allow(panic-policy): the instant is finite and after the clock by construction
+                .expect("failure instants are finite and non-past");
+        }
+    }
+
+    /// Take `server` down at `now`: kill its in-flight queries (dropping or
+    /// re-admitting them per the recovery policy), push its own queue back
+    /// through admission, bill the restart, and schedule the rejoin after
+    /// `repair` unpowered seconds plus the model's warm-up time.
+    fn fail_pool(&mut self, sim: &mut Simulation<ServingEvent>, server: usize, repair: f64) {
+        let now = sim.time();
+        // lint:allow(panic-policy): fail_pool is only called with an active fault model
+        let model = self.faults.expect("fault model is active");
+        let (recovery, restart) = (model.recovery, model.restart);
+        self.failures += 1;
+        let pool = &mut self.pools[server];
+        pool.note_depth(now);
+        if self.servers[server].mode == ServiceMode::ProcessorSharing {
+            pool.advance_shared(now);
+        }
+        let victims = std::mem::take(&mut pool.in_flight);
+        // Strand every in-air completion/horizon of the old episode.
+        pool.epoch += 1;
+        pool.advanced_at = now;
+        let waiting: Vec<Queued> = pool.queue.drain(..).collect();
+        pool.overhead += restart.energy.value();
+        self.life[server].fail(now, repair);
+
+        let mut resumed: Vec<Queued> = Vec::new();
+        for victim in victims {
+            // Refund the unserved remainder credited at start: busy time
+            // (dedicated slots credit the full service upfront; PS busy is
+            // wall-clock and already exact) and energy.
+            let (done, left) = match self.servers[server].mode {
+                ServiceMode::Dedicated => {
+                    let done = (now - victim.started).clamp(0.0, victim.service);
+                    (done, victim.service - done)
+                }
+                ServiceMode::ProcessorSharing => {
+                    let left = victim.remaining.clamp(0.0, victim.service);
+                    (victim.service - left, left)
+                }
+            };
+            let profile = self.servers[server].profiles[victim.template]
+                // lint:allow(panic-policy): the query was started on this pool, so the profile exists
+                .expect("killed query ran on a capable pool");
+            let pool = &mut self.pools[server];
+            if self.servers[server].mode == ServiceMode::Dedicated {
+                pool.busy -= left;
+            }
+            pool.query_energy -= profile.energy.value() * (left / profile.time.value());
+            self.killed += 1;
+            // Checkpointed progress composes across kills: the surviving
+            // fraction of the residual stacks onto what was already banked.
+            let fraction = recovery.surviving_fraction(Seconds(done), Seconds(victim.service));
+            if !matches!(recovery, crate::faults::RecoveryPolicy::Drop) {
+                self.readmitted += 1;
+                resumed.push(Queued {
+                    arrival: victim.arrival,
+                    template: victim.template,
+                    progress: victim.progress + (1.0 - victim.progress) * fraction,
+                });
+            }
+        }
+        // Waiting queries lost nothing; re-admit them first, then the
+        // killed set, so relative order is preserved within each class.
+        for query in waiting {
+            self.admit(sim, query, now);
+        }
+        for query in resumed {
+            self.admit(sim, query, now);
+        }
+        let epoch = self.life[server].epoch;
+        sim.schedule_in(
+            repair + restart.time.value(),
+            ServingEvent::PoolRestore { server, epoch },
+        )
+        // lint:allow(panic-policy): repair and warm-up spans are validated finite non-negative
+        .expect("restore delay is finite and non-negative");
+    }
+
+    /// One queue-depth check of the elastic scale policy: revive a parked
+    /// pool when depth builds, park an idle pool when the system drains.
+    fn scale_check(&mut self, sim: &mut Simulation<ServingEvent>, now: f64) {
+        let Some(policy) = self.faults.and_then(|m| m.scale) else {
+            return;
+        };
+        let migration = policy.migration.unwrap_or_else(TransitionCost::free);
+        let depth = self.central.len()
+            + self
+                .pools
+                .iter()
+                .map(|p| p.in_flight.len() + p.queue.len())
+                .sum::<usize>();
+        if depth >= policy.scale_out_depth {
+            if let Some(server) = (0..self.pools.len()).find(|&s| self.life[s].parked()) {
+                self.life[server].unpark(now);
+                self.pools[server].overhead += migration.energy.value();
+                self.scale_out_events += 1;
+                let epoch = self.life[server].epoch;
+                sim.schedule_in(
+                    migration.time.value(),
+                    ServingEvent::PoolRestore { server, epoch },
+                )
+                // lint:allow(panic-policy): migration spans are validated finite non-negative
+                .expect("migration delay is finite and non-negative");
+            }
+        } else if depth <= policy.scale_in_depth {
+            let online: Vec<usize> = (0..self.pools.len())
+                .filter(|&s| self.life[s].online())
+                .collect();
+            if online.len() > policy.min_pools {
+                let templates = self.template_cdf.len();
+                // Highest-numbered idle pool whose parking leaves every
+                // template at least one capable online pool.
+                let candidate = online.iter().rev().copied().find(|&s| {
+                    self.pools[s].in_flight.is_empty()
+                        && self.pools[s].queue.is_empty()
+                        && (0..templates).all(|t| {
+                            !self.servers[s].can_serve(t)
+                                || online
+                                    .iter()
+                                    .any(|&o| o != s && self.servers[o].can_serve(t))
+                        })
+                });
+                if let Some(server) = candidate {
+                    self.life[server].park(now);
+                    self.pools[server].overhead += migration.energy.value();
+                    self.scale_in_events += 1;
+                }
+            }
+        }
+        let next = now + policy.check_interval.value();
+        if next < self.config.duration.value() {
+            sim.schedule_at(next, ServingEvent::ScaleCheck)
+                // lint:allow(panic-policy): the next check instant is finite and after the clock
+                .expect("scale checks are finite and non-past");
+        }
+    }
 }
 
 impl EventHandler<ServingEvent> for ServingEngine<'_> {
@@ -1022,6 +1317,7 @@ impl EventHandler<ServingEvent> for ServingEngine<'_> {
                     Queued {
                         arrival: now,
                         template,
+                        progress: 0.0,
                     },
                     now,
                 );
@@ -1035,17 +1331,47 @@ impl EventHandler<ServingEvent> for ServingEngine<'_> {
             }
             ServingEvent::Completion { server, query } => {
                 let pool = &mut self.pools[server];
+                // A miss means the query was killed by a pool failure after
+                // this completion was scheduled; the kill already accounted
+                // for it.
+                let Some(index) = pool.in_flight.iter().position(|f| f.id == query) else {
+                    return;
+                };
                 pool.note_depth(now);
-                let index = pool
-                    .in_flight
-                    .iter()
-                    .position(|f| f.id == query)
-                    // lint:allow(panic-policy): dedicated completions are scheduled exactly once per started query
-                    .expect("completion for a query not in flight");
                 let done = pool.in_flight.swap_remove(index);
                 self.complete(done, server, now);
                 self.purge_expired(now);
                 self.refill(sim, server, now);
+            }
+            ServingEvent::HazardFailure { server, epoch } => {
+                // Stale draws (the pool transitioned since arming) are
+                // dead letters; the next up-transition re-arms.
+                if self.life[server].epoch != epoch || !self.life[server].online() {
+                    return;
+                }
+                // lint:allow(panic-policy): hazard events are only scheduled with an active fault model
+                let repair = self.faults.expect("fault model is active").repair_time;
+                self.fail_pool(sim, server, repair.value());
+            }
+            ServingEvent::ScriptedOutage { outage } => {
+                // lint:allow(panic-policy): scripted outages are only scheduled with an active fault model
+                let outage = self.faults.expect("fault model is active").trace[outage];
+                // An outage aimed at an already-offline pool is ignored.
+                if self.life[outage.pool].online() {
+                    self.fail_pool(sim, outage.pool, outage.duration.value());
+                }
+            }
+            ServingEvent::PoolRestore { server, epoch } => {
+                if self.life[server].epoch != epoch {
+                    return;
+                }
+                self.life[server].restore(now);
+                self.arm_hazard(sim, server, now);
+                self.purge_expired(now);
+                self.refill(sim, server, now);
+            }
+            ServingEvent::ScaleCheck => {
+                self.scale_check(sim, now);
             }
             ServingEvent::PsHorizon { server, epoch } => {
                 if self.pools[server].epoch != epoch {
@@ -1099,6 +1425,12 @@ pub fn simulate_serving(
                 server.label
             )));
         }
+        if server.nodes == 0 {
+            return Err(SimError::invalid(format!(
+                "server '{}' has a zero node count",
+                server.label
+            )));
+        }
         for profile in server.profiles.iter().flatten() {
             if profile.time.value() <= 0.0 || !profile.time.value().is_finite() {
                 return Err(SimError::invalid(format!(
@@ -1122,6 +1454,12 @@ pub fn simulate_serving(
     if config.template_theta < 0.0 {
         return Err(SimError::invalid("Zipf theta must be non-negative"));
     }
+    if let Some(model) = &config.faults {
+        model.validate(servers.len())?;
+    }
+    // An inert model perturbs nothing; treat it as absent so results stay
+    // bit-identical to a fault-free run under the same seed.
+    let faults = config.faults.as_ref().filter(|m| !m.is_inert());
 
     // Zipf weights: template i gets (i + 1)^-theta, normalized to a CDF.
     let weights: Vec<f64> = (0..templates)
@@ -1141,6 +1479,8 @@ pub fn simulate_serving(
         servers,
         scheduler,
         config,
+        faults,
+        life: vec![PoolLifecycle::new(); servers.len()],
         template_cdf,
         trace_next: 0,
         next_query_id: 0,
@@ -1151,6 +1491,11 @@ pub fn simulate_serving(
         arrivals: 0,
         dropped: 0,
         timed_out: 0,
+        failures: 0,
+        killed: 0,
+        readmitted: 0,
+        scale_out_events: 0,
+        scale_in_events: 0,
         latencies: Vec::new(),
         wait_sum: 0.0,
         wait_count: 0,
@@ -1161,16 +1506,49 @@ pub fn simulate_serving(
     if let Some(first) = engine.next_arrival(0.0, &mut sim) {
         sim.schedule_at(first, ServingEvent::Arrival)?;
     }
+    if let Some(model) = faults {
+        for (index, outage) in model.trace.iter().enumerate() {
+            sim.schedule_at(
+                outage.at.value(),
+                ServingEvent::ScriptedOutage { outage: index },
+            )?;
+        }
+        for server in 0..servers.len() {
+            engine.arm_hazard(&mut sim, server, 0.0);
+        }
+        if let Some(policy) = &model.scale {
+            let first = policy.check_interval.value();
+            if first < config.duration.value() {
+                sim.schedule_at(first, ServingEvent::ScaleCheck)?;
+            }
+        }
+    }
     sim.run(&mut engine);
 
+    // Under fault churn a run can end with stranded waiters (every capable
+    // pool parked, or a post-window outage); they count as dropped. A
+    // fault-free run never strands anything.
+    let end = sim.time();
+    engine.note_central_depth(end);
+    let mut stranded = engine.central.len();
+    engine.central.clear();
+    for pool in &mut engine.pools {
+        pool.note_depth(end);
+        stranded += pool.queue.len();
+        pool.queue.clear();
+    }
     debug_assert!(
-        engine.central.is_empty() && engine.pools.iter().all(|p| p.queue.is_empty()),
-        "run ended with queued queries"
+        faults.is_some() || stranded == 0,
+        "fault-free run ended with queued queries"
     );
+    engine.dropped += stranded;
     let makespan = sim.time().max(config.duration.value());
     engine.note_central_depth(makespan);
     for pool in &mut engine.pools {
         pool.note_depth(makespan);
+    }
+    for life in &mut engine.life {
+        life.finalize(makespan);
     }
     let mut latencies = engine.latencies;
     latencies.sort_by(f64::total_cmp);
@@ -1179,14 +1557,22 @@ pub fn simulate_serving(
         .pools
         .iter()
         .zip(servers)
-        .map(|(pool, server)| {
+        .zip(&engine.life)
+        .map(|((pool, server), life)| {
             let slots = server.slots() as f64;
-            let idle_time = (makespan * slots - pool.busy).max(0.0) / slots;
-            Joules(pool.query_energy) + server.idle_power * Seconds(idle_time)
+            // Idle power is metered only over the powered span (repairs and
+            // parked spells are unpowered); lifecycle overhead rides on top.
+            let powered = makespan - life.unpowered_time();
+            let idle_time = (powered * slots - pool.busy).max(0.0) / slots;
+            Joules(pool.query_energy + pool.overhead) + server.idle_power * Seconds(idle_time)
         })
         .collect();
     let query_energy = Joules(engine.pools.iter().map(|p| p.query_energy).sum());
+    let overhead_energy = Joules(engine.pools.iter().map(|p| p.overhead).sum());
     let energy = server_energy.iter().copied().sum::<Joules>();
+    let fault_downtime: f64 = engine.life.iter().map(PoolLifecycle::fault_downtime).sum();
+    let parked_time: f64 = engine.life.iter().map(PoolLifecycle::parked_time).sum();
+    let availability = 1.0 - fault_downtime / (makespan * servers.len() as f64);
 
     Ok(ServingResult {
         scheduler: engine.scheduler.name(),
@@ -1198,6 +1584,14 @@ pub fn simulate_serving(
         completed: latencies.len(),
         dropped: engine.dropped,
         timed_out: engine.timed_out,
+        failures: engine.failures,
+        killed: engine.killed,
+        readmitted: engine.readmitted,
+        scale_out_events: engine.scale_out_events,
+        scale_in_events: engine.scale_in_events,
+        fault_downtime: Seconds(fault_downtime),
+        parked_time: Seconds(parked_time),
+        availability,
         latencies,
         mean_wait: Seconds(if engine.wait_count == 0 {
             0.0
@@ -1206,7 +1600,8 @@ pub fn simulate_serving(
         }),
         energy,
         query_energy,
-        idle_energy: energy - query_energy,
+        idle_energy: energy - query_energy - overhead_energy,
+        overhead_energy,
         server_busy: engine.pools.iter().map(|p| Seconds(p.busy)).collect(),
         server_energy,
         server_queries: engine.pools.iter().map(|p| p.completed).collect(),
@@ -1225,6 +1620,7 @@ pub fn simulate_serving(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{RecoveryPolicy, ScalePolicy};
 
     fn server(label: &str, times: &[Option<(f64, f64)>], idle_power: f64) -> ServingServer {
         ServingServer::new(
@@ -1593,11 +1989,20 @@ mod tests {
             completed: 4,
             dropped: 0,
             timed_out: 0,
+            failures: 0,
+            killed: 0,
+            readmitted: 0,
+            scale_out_events: 0,
+            scale_in_events: 0,
+            fault_downtime: Seconds(0.0),
+            parked_time: Seconds(0.0),
+            availability: 1.0,
             latencies: vec![1.0, 2.0, 3.0, 4.0],
             mean_wait: Seconds(0.0),
             energy: Joules(0.0),
             query_energy: Joules(0.0),
             idle_energy: Joules(0.0),
+            overhead_energy: Joules(0.0),
             server_busy: vec![Seconds(0.0)],
             server_energy: vec![Joules(0.0)],
             server_queries: vec![4],
@@ -1697,5 +2102,233 @@ mod tests {
         assert_eq!(result.arrivals, 0);
         assert_eq!(result.makespan, Seconds(10.0));
         assert_eq!(result.p99(), Seconds::zero());
+        // Fault-model validation runs through the same gate.
+        let bad_faults = ServingConfig::new(1.0, Seconds(10.0), 1).faults(FaultModel::new(-1.0));
+        assert!(simulate_serving(&ok, &bad_faults, &mut FcfsScheduler).is_err());
+        let bad_pool = ServingConfig::new(1.0, Seconds(10.0), 1)
+            .faults(FaultModel::new(0.0).outage(3, Seconds(1.0), Seconds(1.0)));
+        assert!(simulate_serving(&ok, &bad_pool, &mut FcfsScheduler).is_err());
+        let zero_nodes = vec![server("s", &[Some((1.0, 1.0))], 1.0).nodes(0)];
+        let plain = ServingConfig::new(1.0, Seconds(10.0), 1);
+        assert!(simulate_serving(&zero_nodes, &plain, &mut FcfsScheduler).is_err());
+    }
+
+    /// `arrivals = completed + dropped + timed_out + (killed − readmitted)`
+    /// — every query is accounted for exactly once.
+    fn assert_conserves(result: &ServingResult) {
+        assert!(result.readmitted <= result.killed);
+        assert_eq!(
+            result.completed
+                + result.dropped
+                + result.timed_out
+                + (result.killed - result.readmitted),
+            result.arrivals,
+            "conservation violated: {result:?}"
+        );
+    }
+
+    /// An inert fault model schedules no events and consumes no RNG draws:
+    /// the run is bit-identical to one with no model at all.
+    #[test]
+    fn inert_fault_model_is_bit_identical() {
+        let servers = vec![
+            server("beefy", &[Some((0.5, 300.0)), Some((2.0, 1200.0))], 120.0),
+            server("wimpy", &[Some((1.5, 90.0)), None], 30.0).nodes(4),
+        ];
+        let config = ServingConfig::new(1.2, Seconds(2_000.0), 99)
+            .template_theta(1.0)
+            .queue_capacity(16)
+            .max_wait(Seconds(20.0))
+            .exponential_service();
+        let bare = simulate_serving(&servers, &config, &mut EnergyAwareScheduler).unwrap();
+        let inert = config.clone().faults(FaultModel::new(0.0));
+        let faulted = simulate_serving(&servers, &inert, &mut EnergyAwareScheduler).unwrap();
+        assert_eq!(bare, faulted, "a zero-rate model must not perturb the run");
+        assert_eq!(faulted.availability, 1.0);
+        assert_eq!(faulted.failures, 0);
+        assert_eq!(faulted.overhead_energy, Joules(0.0));
+    }
+
+    /// A scripted outage mid-query kills it; replay recovery redoes the
+    /// whole query after repair + warm-up, with the restart billed and the
+    /// unpowered repair span unmetered.
+    #[test]
+    fn scripted_outage_kills_and_replays() {
+        let servers = vec![server("s", &[Some((10.0, 100.0))], 50.0)];
+        let model = FaultModel::scripted(Vec::new())
+            .outage(0, Seconds(5.0), Seconds(2.0))
+            .restart_cost(TransitionCost {
+                time: Seconds(1.0),
+                energy: Joules(500.0),
+            });
+        let config = ServingConfig::new(1.0, Seconds(10.0), 1)
+            .arrival(ArrivalProcess::Trace(vec![Seconds(0.0)]))
+            .faults(model);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert_eq!(result.arrivals, 1);
+        assert_eq!(result.failures, 1);
+        assert_eq!(result.killed, 1);
+        assert_eq!(result.readmitted, 1);
+        assert_eq!(result.completed, 1);
+        assert_conserves(&result);
+        // Killed at t=5, offline until t=8 (2 s repair + 1 s warm-up),
+        // replayed from scratch: completion at t=18.
+        assert!((result.latencies[0] - 18.0).abs() < 1e-9);
+        assert_eq!(result.makespan, Seconds(18.0));
+        assert_eq!(result.fault_downtime, Seconds(3.0));
+        assert!((result.availability - (1.0 - 3.0 / 18.0)).abs() < 1e-12);
+        // Busy: 5 s of wasted partial work plus the 10 s replay.
+        assert!((result.server_busy[0].value() - 15.0).abs() < 1e-9);
+        // Energy: 150 J of query work (half the first attempt refunded),
+        // 500 J restart, idle power over the powered non-busy second only.
+        assert!((result.query_energy.value() - 150.0).abs() < 1e-9);
+        assert_eq!(result.overhead_energy, Joules(500.0));
+        assert!((result.idle_energy.value() - 50.0).abs() < 1e-9);
+        assert!((result.energy.value() - 700.0).abs() < 1e-9);
+    }
+
+    /// Checkpoint recovery resumes from the last whole interval instead of
+    /// replaying from scratch: less redone work, lower latency and energy.
+    #[test]
+    fn checkpoint_recovery_redoes_less_than_replay() {
+        let servers = vec![server("s", &[Some((10.0, 100.0))], 50.0)];
+        let scenario = |recovery: RecoveryPolicy| {
+            let model = FaultModel::scripted(Vec::new())
+                .outage(0, Seconds(5.0), Seconds(2.0))
+                .restart_cost(TransitionCost {
+                    time: Seconds(1.0),
+                    energy: Joules(500.0),
+                })
+                .recovery(recovery);
+            let config = ServingConfig::new(1.0, Seconds(10.0), 1)
+                .arrival(ArrivalProcess::Trace(vec![Seconds(0.0)]))
+                .faults(model);
+            simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap()
+        };
+        let replay = scenario(RecoveryPolicy::Replay);
+        let checkpoint = scenario(RecoveryPolicy::Checkpoint {
+            interval: Seconds(2.0),
+        });
+        // 5 s done at a 2 s cadence banks 4 s: the resume needs 6 s, so the
+        // query finishes at t = 8 + 6 = 14 against replay's 18.
+        assert!((checkpoint.latencies[0] - 14.0).abs() < 1e-9);
+        assert!((replay.latencies[0] - 18.0).abs() < 1e-9);
+        assert!(checkpoint.query_energy < replay.query_energy);
+        assert_conserves(&checkpoint);
+        assert_conserves(&replay);
+    }
+
+    /// Drop recovery forfeits killed queries; the conservation invariant
+    /// books them as killed-not-readmitted.
+    #[test]
+    fn drop_recovery_loses_killed_queries() {
+        let servers = vec![server("s", &[Some((10.0, 100.0))], 50.0)];
+        let model = FaultModel::scripted(Vec::new())
+            .outage(0, Seconds(5.0), Seconds(2.0))
+            .recovery(RecoveryPolicy::Drop);
+        let config = ServingConfig::new(1.0, Seconds(10.0), 1)
+            .arrival(ArrivalProcess::Trace(vec![Seconds(0.0)]))
+            .faults(model);
+        let result = simulate_serving(&servers, &config, &mut FcfsScheduler).unwrap();
+        assert_eq!(result.killed, 1);
+        assert_eq!(result.readmitted, 0);
+        assert_eq!(result.completed, 0);
+        assert_conserves(&result);
+        // The wasted partial work still burned energy (5 s of a 10 s / 100 J
+        // profile), but the unserved remainder was refunded.
+        assert!((result.query_energy.value() - 50.0).abs() < 1e-9);
+    }
+
+    /// Hazard failures drawn from the seeded RNG dent availability, conserve
+    /// queries, and stay bit-reproducible.
+    #[test]
+    fn hazard_failures_reduce_availability() {
+        let servers = vec![
+            server("beefy", &[Some((0.5, 300.0)), Some((2.0, 1200.0))], 120.0).nodes(4),
+            server("wimpy", &[Some((1.5, 90.0)), None], 30.0).nodes(16),
+        ];
+        let model = FaultModel::new(2.0)
+            .repair_time(Seconds(30.0))
+            .restart_cost(TransitionCost {
+                time: Seconds(5.0),
+                energy: Joules(1_000.0),
+            });
+        let config = ServingConfig::new(1.2, Seconds(2_000.0), 99)
+            .template_theta(1.0)
+            .queue_capacity(64)
+            .faults(model);
+        let a = simulate_serving(&servers, &config, &mut JoinShortestQueue).unwrap();
+        let b = simulate_serving(&servers, &config, &mut JoinShortestQueue).unwrap();
+        assert_eq!(a, b, "fault draws come from the seeded kernel RNG");
+        assert!(a.failures > 0, "2 failures/node-hour over 20 node-hours");
+        assert!(a.killed > 0);
+        assert!(a.availability < 1.0);
+        assert!(a.fault_downtime.value() > 0.0);
+        assert!(a.overhead_energy.value() >= a.failures as f64 * 1_000.0);
+        assert_conserves(&a);
+        // Churn shows up in the tail: the same stream without faults has a
+        // strictly better p99.
+        let calm = ServingConfig {
+            faults: None,
+            ..config
+        };
+        let baseline = simulate_serving(&servers, &calm, &mut JoinShortestQueue).unwrap();
+        assert!(a.p99() > baseline.p99(), "churn must inflate the tail");
+    }
+
+    /// The scale policy parks an idle pool through the quiet spell and
+    /// revives it for the burst, saving idle energy net of migration costs.
+    #[test]
+    fn scale_policy_parks_and_revives() {
+        let profiles: Vec<Option<(f64, f64)>> = vec![Some((1.0, 10.0))];
+        let servers: Vec<ServingServer> = (0..2)
+            .map(|i| server(&format!("s{i}"), &profiles, 100.0).concurrency_limit(4))
+            .collect();
+        // A quiet night then a burst near two-pool capacity.
+        let ramp = ArrivalProcess::Ramp(vec![
+            RampSegment {
+                duration: Seconds(500.0),
+                qps: 0.05,
+            },
+            RampSegment {
+                duration: Seconds(500.0),
+                qps: 6.0,
+            },
+        ]);
+        let policy = ScalePolicy::new(6, 1, Seconds(10.0))
+            .min_pools(1)
+            .migration_cost(TransitionCost {
+                time: Seconds(5.0),
+                energy: Joules(200.0),
+            });
+        let config = ServingConfig::new(1.0, Seconds(1_000.0), 7)
+            .arrival(ramp)
+            .queue_capacity(usize::MAX)
+            .faults(FaultModel::new(0.0).scale(policy));
+        let scaled = simulate_serving(&servers, &config, &mut JoinShortestQueue).unwrap();
+        assert!(scaled.scale_in_events >= 1, "the quiet spell parks a pool");
+        assert!(scaled.scale_out_events >= 1, "the burst revives it");
+        assert!(scaled.parked_time.value() > 0.0);
+        assert_eq!(scaled.failures, 0);
+        assert_eq!(
+            scaled.availability, 1.0,
+            "deliberate parking is not unavailability"
+        );
+        assert!(scaled.overhead_energy.value() > 0.0);
+        assert_conserves(&scaled);
+        // Parking beats idling: the saved idle power dwarfs the migration
+        // bills at these spans.
+        let always_on = ServingConfig {
+            faults: None,
+            ..config
+        };
+        let baseline = simulate_serving(&servers, &always_on, &mut JoinShortestQueue).unwrap();
+        assert!(
+            scaled.energy < baseline.energy,
+            "scaled {:?} vs always-on {:?}",
+            scaled.energy,
+            baseline.energy
+        );
+        assert_conserves(&baseline);
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests for the fault-injection layer: the conservation
+//! invariant (`arrivals = completed + dropped + timed_out +
+//! killed-not-readmitted`) must hold for every scheduler × arrival-law
+//! combination under hazard failures, scripted outages, and elastic
+//! scaling, and every faulted run must stay bit-reproducible under its
+//! seed.
+
+use eedc_dbmsim::serving::{
+    simulate_serving, ArrivalProcess, FcfsScheduler, JoinShortestQueue, PowerOfTwoChoices,
+    Scheduler, ServiceProfile, ServingConfig, ServingResult, ServingServer,
+};
+use eedc_dbmsim::{FaultModel, RecoveryPolicy, ScalePolicy, TransitionCost};
+use eedc_simkit::units::{Joules, Seconds, Watts};
+
+type SchedulerCtor = fn() -> Box<dyn Scheduler>;
+
+fn cluster() -> Vec<ServingServer> {
+    let profile = |time: f64, energy: f64| {
+        Some(ServiceProfile {
+            time: Seconds(time),
+            energy: Joules(energy),
+        })
+    };
+    vec![
+        ServingServer::new(
+            "beefy",
+            Watts(120.0),
+            vec![profile(0.5, 300.0), profile(2.0, 1_200.0)],
+        )
+        .concurrency_limit(4)
+        .nodes(4),
+        ServingServer::new("wimpy-a", Watts(30.0), vec![profile(1.5, 90.0), None])
+            .concurrency_limit(2)
+            .nodes(8),
+        ServingServer::new("wimpy-b", Watts(30.0), vec![profile(1.5, 90.0), None])
+            .concurrency_limit(2)
+            .nodes(8),
+    ]
+}
+
+fn churn_model() -> FaultModel {
+    FaultModel::new(1.5)
+        .repair_time(Seconds(40.0))
+        .recovery(RecoveryPolicy::Checkpoint {
+            interval: Seconds(0.5),
+        })
+        .restart_cost(TransitionCost {
+            time: Seconds(5.0),
+            energy: Joules(800.0),
+        })
+        .outage(0, Seconds(300.0), Seconds(60.0))
+        .outage(1, Seconds(900.0), Seconds(120.0))
+        .scale(
+            ScalePolicy::new(12, 1, Seconds(25.0))
+                .min_pools(1)
+                .migration_cost(TransitionCost {
+                    time: Seconds(10.0),
+                    energy: Joules(400.0),
+                }),
+        )
+}
+
+fn arrivals() -> Vec<(&'static str, ArrivalProcess)> {
+    // A deterministic trace with a burst, and a Poisson stream at the same
+    // mean rate.
+    let burst: Vec<Seconds> = (0..2_400)
+        .map(|i| {
+            let t = i as f64 * 0.75;
+            Seconds(if t < 600.0 {
+                t
+            } else {
+                600.0 + (t - 600.0) * 1.25
+            })
+        })
+        .collect();
+    vec![
+        ("poisson", ArrivalProcess::Poisson { qps: 1.4 }),
+        ("trace", ArrivalProcess::Trace(burst)),
+    ]
+}
+
+fn assert_conserves(result: &ServingResult, label: &str) {
+    assert!(result.readmitted <= result.killed, "{label}: {result:?}");
+    assert_eq!(
+        result.completed + result.dropped + result.timed_out + (result.killed - result.readmitted),
+        result.arrivals,
+        "{label}: conservation violated"
+    );
+}
+
+/// Conservation and determinism across {fcfs, jsq, po2} × {Poisson, trace}
+/// under the full churn model (hazard + scripted + elastic scaling).
+#[test]
+fn conservation_holds_for_every_scheduler_and_arrival_law() {
+    let servers = cluster();
+    let schedulers: Vec<(&str, SchedulerCtor)> = vec![
+        ("fcfs", || Box::new(FcfsScheduler)),
+        ("jsq", || Box::new(JoinShortestQueue)),
+        ("po2", || Box::new(PowerOfTwoChoices)),
+    ];
+    for (arrival_name, arrival) in arrivals() {
+        for (scheduler_name, make) in &schedulers {
+            let label = format!("{scheduler_name}/{arrival_name}");
+            let config = ServingConfig::new(1.0, Seconds(1_800.0), 2_024)
+                .arrival(arrival.clone())
+                .template_theta(0.8)
+                .queue_capacity(128)
+                .max_wait(Seconds(60.0))
+                .faults(churn_model());
+            let a = simulate_serving(&servers, &config, make().as_mut()).unwrap();
+            let b = simulate_serving(&servers, &config, make().as_mut()).unwrap();
+            assert_eq!(a, b, "{label}: same seed must reproduce bit-identically");
+            assert_conserves(&a, &label);
+            assert!(a.failures > 0, "{label}: the churn model must fire");
+            assert!(a.availability < 1.0, "{label}");
+            assert!(a.availability > 0.0, "{label}");
+            assert!(a.killed > 0, "{label}");
+            assert!(
+                a.overhead_energy.value() > 0.0,
+                "{label}: restarts must be billed"
+            );
+        }
+    }
+}
+
+/// The same sweep with an inert model must match a fault-free run exactly —
+/// the seam costs nothing when unused.
+#[test]
+fn inert_model_matches_fault_free_for_every_scheduler() {
+    let servers = cluster();
+    let schedulers: Vec<(&str, SchedulerCtor)> = vec![
+        ("fcfs", || Box::new(FcfsScheduler)),
+        ("jsq", || Box::new(JoinShortestQueue)),
+        ("po2", || Box::new(PowerOfTwoChoices)),
+    ];
+    for (arrival_name, arrival) in arrivals() {
+        for (scheduler_name, make) in &schedulers {
+            let bare = ServingConfig::new(1.0, Seconds(1_200.0), 7)
+                .arrival(arrival.clone())
+                .queue_capacity(128)
+                .max_wait(Seconds(60.0));
+            let inert = bare.clone().faults(FaultModel::new(0.0));
+            let a = simulate_serving(&servers, &bare, make().as_mut()).unwrap();
+            let b = simulate_serving(&servers, &inert, make().as_mut()).unwrap();
+            assert_eq!(
+                a, b,
+                "{scheduler_name}/{arrival_name}: inert model perturbed the run"
+            );
+            assert_conserves(&a, scheduler_name);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Availability under churn: serve the same open-loop stream to three
+//! cluster designs while nodes fail and recover. Each design runs under a
+//! fault model combining a per-node-hour hazard rate, two scripted outages,
+//! checkpoint recovery, and a queue-depth elastic scale policy whose data-
+//! movement cost the `Serving` lens derives from the port-volume model.
+//! The sweep closes with the availability objective: the cheapest design
+//! whose simulated availability clears a floor.
+//!
+//! Flags (for the nightly CI soak): `--horizon-scale N` multiplies the
+//! arrival window, `--out PATH` writes the full experiment report as JSON —
+//! two runs at the same scale must produce byte-identical files.
+
+use eedc::pstore::{ClusterSpec, JoinQuerySpec};
+use eedc::simkit::catalog::{cluster_v_node, laptop_b};
+use eedc::simkit::units::{Megabytes, Seconds};
+use eedc::{
+    Analytical, DesignAdvisor, Estimator, Experiment, FaultModel, RecoveryPolicy, ScalePolicy,
+    Serving, ServingWorkload, SweepJoin, Workload,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut horizon_scale = 1.0_f64;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--horizon-scale" => {
+                let value = args.next().ok_or("--horizon-scale needs a value")?;
+                horizon_scale = value.parse::<f64>()?;
+                if !horizon_scale.is_finite() || horizon_scale <= 0.0 {
+                    return Err(format!("--horizon-scale must be positive, got {value}").into());
+                }
+            }
+            "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+
+    // The serving example's small join, so Wimpy pools can serve it too and
+    // the heterogeneous designs have something to park and revive.
+    let mut template = SweepJoin::section_5_4(JoinQuerySpec::q3_dual_shuffle());
+    template.build_bytes = Megabytes(2_000.0);
+    template.probe_bytes = Megabytes(8_000.0);
+
+    let designs = [
+        ClusterSpec::homogeneous(cluster_v_node(), 8)?,
+        ClusterSpec::heterogeneous(cluster_v_node(), 4, laptop_b(), 8)?,
+        ClusterSpec::heterogeneous(cluster_v_node(), 2, laptop_b(), 16)?,
+    ];
+
+    let service_time = Analytical
+        .estimate(&template.plans()[0], &designs[0])?
+        .response_time
+        .value();
+    let qps = 0.4 / service_time;
+    let window = Seconds(1_000.0 * service_time * horizon_scale);
+
+    // The churn model: a hazard rate that expects a handful of failures per
+    // pool over the base window, two scripted outages, checkpointed
+    // recovery (killed queries resume from their last checkpoint instead of
+    // replaying from scratch), a restart bill, and an elastic policy with
+    // no explicit migration cost — the lens derives one per design from the
+    // port-volume model.
+    let rate = 6.0 * 3_600.0 / (8.0 * window.value());
+    let model = FaultModel::new(rate)
+        .repair_time(Seconds(2.0 * service_time))
+        .recovery(RecoveryPolicy::Checkpoint {
+            interval: Seconds(service_time / 4.0),
+        })
+        .restart_cost(eedc::TransitionCost {
+            time: Seconds(0.1 * service_time),
+            energy: eedc::simkit::units::Joules(500.0),
+        })
+        .outage(
+            0,
+            Seconds(0.25 * window.value()),
+            Seconds(4.0 * service_time),
+        )
+        .outage(
+            0,
+            Seconds(0.75 * window.value()),
+            Seconds(4.0 * service_time),
+        )
+        .scale(ScalePolicy::new(12, 1, Seconds(2.0 * service_time)));
+
+    let workload = ServingWorkload::new(&template, qps, window, 4_242)
+        .queue_capacity(256)
+        .with_faults(model);
+
+    let report = Experiment::new(&workload)
+        .designs(designs.clone())
+        .estimator(Serving::fcfs())
+        .estimator(Serving::jsq())
+        .run()?;
+
+    println!(
+        "churn sweep: {qps:.4} qps over {:.0} s, hazard {rate:.3} failures/node-hour",
+        window.value()
+    );
+    for series in &report.series {
+        println!("{} lens:", series.estimator);
+        println!(
+            "  {:>8} {:>9} {:>7} {:>7} {:>7} {:>7} {:>9} {:>12}",
+            "design", "avail", "fails", "killed", "readm", "scale", "p99 (s)", "J/query"
+        );
+        for record in &series.records {
+            let stats = record.serving.as_ref().expect("serving lens fills stats");
+            let faults = stats.faults.as_ref().expect("churned runs report faults");
+            println!(
+                "  {:>8} {:>9.5} {:>7} {:>7} {:>7} {:>7} {:>9.2} {:>12.0}",
+                record.design,
+                faults.availability,
+                faults.failures,
+                faults.killed,
+                faults.readmitted,
+                faults.scale_out_events + faults.scale_in_events,
+                stats.p99.value(),
+                stats.energy_per_query.value(),
+            );
+        }
+    }
+
+    // The availability objective: the lowest-energy design whose simulated
+    // availability clears the floor, confirmed against the full report.
+    let floor = 0.98;
+    let advisor = DesignAdvisor::new(Serving::fcfs(), &workload);
+    match advisor.cheapest_meeting_availability(&designs, floor)? {
+        Some(pick) => {
+            let faults = pick
+                .serving
+                .as_ref()
+                .and_then(|s| s.faults.as_ref())
+                .expect("churned runs report faults");
+            println!(
+                "cheapest design meeting availability >= {floor}: {} ({:.5} available, {:.0} J total)",
+                pick.design,
+                faults.availability,
+                pick.energy.value(),
+            );
+        }
+        None => println!("no design meets availability >= {floor} under this churn"),
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json_string())?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}

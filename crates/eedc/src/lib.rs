@@ -86,8 +86,9 @@ pub use eedc_tpch as tpch;
 // level so examples and downstream code write `eedc::Experiment`.
 pub use eedc_core::{
     Analytical, ArrivalProcess, Behavioural, ConcurrencySweep, DesignAdvisor, DesignSpace,
-    Estimator, Experiment, ExperimentReport, Measured, ProfiledQuery, RampSegment, RunRecord,
-    RunSeries, Serving, ServingStats, ServingWorkload, SkewedJoin, SweepJoin, Traced, Workload,
+    Estimator, Experiment, ExperimentReport, FaultModel, FaultOutage, FaultStats, Measured,
+    ProfiledQuery, RampSegment, RecoveryPolicy, RunRecord, RunSeries, ScalePolicy, Serving,
+    ServingStats, ServingWorkload, SkewedJoin, SweepJoin, Traced, TransitionCost, Workload,
     WorkloadPlan,
 };
 

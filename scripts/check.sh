@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the same three gates CI runs (lint / test / bench-check), in the same
+# order, so a clean `scripts/check.sh` means a clean CI run. The nightly
+# soak is separate — run `scripts/soak.sh` for that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: fmt + clippy + docs + eedc-lint =="
+cargo fmt --all --check
+cargo clippy --locked --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps --workspace
+cargo run --locked --release -p eedc-lint -- check
+
+echo "== test: build + test + doctests + examples =="
+cargo build --locked --release --workspace --all-targets
+cargo test --locked -q --workspace
+cargo test --locked --doc --workspace
+for file in crates/eedc/examples/*.rs; do
+  example="$(basename "$file" .rs)"
+  cargo run --locked --release -p eedc --example "$example"
+done
+
+echo "== bench-check: suite vs committed baselines =="
+cargo run --locked --release -p eedc-bench --bin bench_suite -- \
+  --check crates/bench/baselines --threshold 200 --min-delta-ms 5
+cargo run --locked --release -p eedc-bench --bin figures -- figures-data
+
+echo "all gates passed"

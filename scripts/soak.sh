@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Nightly fault-injection soak: run the churn sweep at 10x the example's
+# default horizon twice with the same seed and fail unless the two JSON
+# reports are byte-identical. Catches any nondeterminism that creeps into
+# the event kernel, the fault model, or the report serializer — the
+# property every figure and baseline in this repo leans on.
+#
+# Usage: scripts/soak.sh [horizon-scale]   (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-10}"
+out_dir="soak"
+mkdir -p "$out_dir"
+
+cargo build --locked --release -p eedc --example fault_scenarios
+
+run() {
+  cargo run --locked --release -q -p eedc --example fault_scenarios -- \
+    --horizon-scale "$scale" --out "$1"
+}
+
+echo "== soak pass 1 (horizon-scale $scale) =="
+run "$out_dir/report_a.json"
+echo "== soak pass 2 (horizon-scale $scale) =="
+run "$out_dir/report_b.json"
+
+if cmp -s "$out_dir/report_a.json" "$out_dir/report_b.json"; then
+  echo "soak OK: reports are byte-identical ($(wc -c <"$out_dir/report_a.json") bytes)"
+else
+  echo "soak FAILED: same seed produced different reports" >&2
+  diff "$out_dir/report_a.json" "$out_dir/report_b.json" | head -40 >&2 || true
+  exit 1
+fi
